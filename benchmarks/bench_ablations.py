@@ -1,0 +1,30 @@
+"""Ablations: planner heuristics, collision models, probe order, coupon
+seeding, self-identifying switches (DESIGN.md section 4)."""
+
+from repro.experiments import ablations
+
+
+def test_ablations_on_full_system(once, benchmark):
+    rows = once(ablations.run, "C+A+B")
+    by_name = {r.variant: r for r in rows}
+    assert all(r.correct for r in rows)
+
+    # Section 3.3: the probe-order tricks should save a large factor
+    # ("factors of 2 or more" is the paper's estimate for further tricks;
+    # window pruning alone must save at least ~25%).
+    smart = by_name["planner: heuristic"].probes
+    naive = by_name["planner: naive"].probes
+    assert smart < naive * 0.8
+
+    # Section 6: hardware identity support is the cheapest of all.
+    assert by_name["self-identifying switches"].probes < smart / 2
+
+    # Cut-through succeeds where circuit self-deadlocks, so it can only
+    # find at least as many probe paths (model sizes comparable or larger).
+    assert (
+        by_name["collision: cut-through slack=1"].probes
+        >= by_name["collision: circuit"].probes * 0.5
+    )
+
+    benchmark.extra_info["probes"] = {r.variant: r.probes for r in rows}
+    benchmark.extra_info["heuristic_saving"] = round(1 - smart / naive, 2)

@@ -1,0 +1,51 @@
+"""Correctness at scale: the theorem on larger synthetic families.
+
+Complements the hypothesis property tests (which keep examples small) by
+running the full mapper on a handful of larger structured and random
+topologies under the benchmark clock.
+"""
+
+import pytest
+
+from repro.core.mapper import BerkeleyMapper
+from repro.simulator.quiescent import QuiescentProbeService
+from repro.topology.analysis import core_network, recommended_search_depth
+from repro.topology.generators import (
+    build_fat_tree,
+    build_hypercube,
+    build_mesh,
+    build_torus,
+    random_san,
+)
+from repro.topology.isomorphism import match_networks
+
+CASES = {
+    "fat-tree-8x4": lambda: build_fat_tree(
+        n_leaves=8, hosts_per_leaf=4, level_widths=(4, 2), uplinks=2
+    ),
+    "mesh-4x4": lambda: build_mesh(4, 4, hosts_per_switch=1),
+    "torus-3x4": lambda: build_torus(3, 4, hosts_per_switch=1),
+    "hypercube-4": lambda: build_hypercube(4, hosts_per_switch=1),
+    "random-12sw": lambda: random_san(
+        n_switches=12, n_hosts=10, extra_links=6, seed=42
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_map_larger_topology(benchmark, name):
+    net = CASES[name]()
+    mapper = sorted(net.hosts)[0]
+    depth = recommended_search_depth(net, mapper)
+
+    def run():
+        svc = QuiescentProbeService(net, mapper)
+        return BerkeleyMapper(
+            svc, search_depth=depth, host_first=False, max_explorations=20_000
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = match_networks(result.network, core_network(net))
+    assert report, f"{name}: {report.reason}"
+    benchmark.extra_info["probes"] = result.stats.total_probes
+    benchmark.extra_info["explorations"] = result.explorations

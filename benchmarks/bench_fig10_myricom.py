@@ -1,0 +1,26 @@
+"""Figure 10 / Section 5.4 — the Myricom Algorithm comparison."""
+
+from repro.experiments import fig10_myricom
+
+
+def test_fig10_myricom_comparison(once, benchmark):
+    rows = once(fig10_myricom.run)
+    for row in rows:
+        assert row.myricom_correct
+        # Paper: 3.2x / 3.6x / 5.4x messages; 5.5x / 3.9x / 3.9x time.
+        # Require the reproduced ratios to be integer-factor (>2x) and
+        # bounded (<10x).
+        assert 2.0 <= row.msg_ratio <= 10.0, row.system
+        assert 2.0 <= row.time_ratio <= 10.0, row.system
+    by_system = {r.system: r for r in rows}
+    # The message ratio grows with system size (the O(N^2) compare term).
+    assert by_system["C+A+B"].msg_ratio >= by_system["C"].msg_ratio * 0.9
+    benchmark.extra_info["msg_ratios"] = {
+        r.system: round(r.msg_ratio, 1) for r in rows
+    }
+    benchmark.extra_info["paper_msg_ratios"] = {
+        "C": 3.2, "C+A": 3.6, "C+A+B": 5.4
+    }
+    benchmark.extra_info["time_ratios"] = {
+        r.system: round(r.time_ratio, 1) for r in rows
+    }

@@ -1,0 +1,11 @@
+"""Figure 3 — subcluster component counts (topology generation bench)."""
+
+from repro.experiments import fig3_components
+
+
+def test_fig3_components(once, benchmark):
+    rows = once(fig3_components.run)
+    assert all(r.matches_paper for r in rows)
+    benchmark.extra_info["rows"] = [
+        (r.subcluster, r.interfaces, r.switches, r.links) for r in rows
+    ]

@@ -1,0 +1,22 @@
+"""Figures 4 and 5 — automatically generated maps of C and the full NOW."""
+
+from repro.experiments import fig4_subcluster_map, fig5_full_map
+
+
+def test_fig4_map_subcluster_c(once, benchmark):
+    exp = once(fig4_subcluster_map.run, "C")
+    assert exp.verification.isomorphic
+    net = exp.result.network
+    assert (net.n_hosts, net.n_switches, net.n_wires) == (36, 13, 64)
+    benchmark.extra_info["probes"] = exp.result.stats.total_probes
+    benchmark.extra_info["sim_ms"] = round(exp.result.elapsed_ms)
+
+
+def test_fig5_map_full_now(once, benchmark):
+    exp = once(fig5_full_map.run)
+    assert exp.verification.isomorphic
+    net = exp.result.network
+    assert (net.n_hosts, net.n_switches, net.n_wires) == (100, 40, 193)
+    benchmark.extra_info["probes"] = exp.result.stats.total_probes
+    benchmark.extra_info["sim_ms"] = round(exp.result.elapsed_ms)
+    benchmark.extra_info["peak_model_nodes"] = exp.result.peak_model_nodes

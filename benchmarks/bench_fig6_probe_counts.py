@@ -1,0 +1,17 @@
+"""Figure 6 — probe counts and hit ratios across C, C+A, C+A+B."""
+
+from repro.experiments import fig6_probe_counts
+
+
+def test_fig6_probe_counts(once, benchmark):
+    rows = once(fig6_probe_counts.run)
+    assert all(r.map_correct for r in rows)
+    totals = [r.host_probes + r.switch_probes for r in rows]
+    # Paper shape: counts grow super-linearly with system size and the
+    # host-hit ratio degrades as subclusters are added.
+    assert totals[0] < totals[1] < totals[2]
+    assert rows[0].host_ratio > rows[2].host_ratio
+    benchmark.extra_info["totals"] = dict(
+        zip((r.system for r in rows), totals)
+    )
+    benchmark.extra_info["paper_totals"] = {"C": 450, "C+A": 903, "C+A+B": 2011}

@@ -1,0 +1,24 @@
+"""Figure 7 — mapping times, master/slave vs election, three systems."""
+
+from repro.experiments import fig7_mapping_times
+
+
+def test_fig7_mapping_times(once, benchmark):
+    rows = once(fig7_mapping_times.run, runs=5)
+    for row in rows:
+        # Election mode costs more on average, as the paper reports.
+        assert row.election.avg_ms > row.master.avg_ms
+        assert row.master.min_ms <= row.master.avg_ms <= row.master.max_ms
+    # Simulated times land in the paper's regime (hundreds of ms).
+    by_system = {r.system: r for r in rows}
+    assert 100 <= by_system["C"].master.avg_ms <= 900
+    assert by_system["C+A+B"].master.avg_ms > by_system["C"].master.avg_ms
+    benchmark.extra_info["master_avg_ms"] = {
+        r.system: round(r.master.avg_ms) for r in rows
+    }
+    benchmark.extra_info["election_avg_ms"] = {
+        r.system: round(r.election.avg_ms) for r in rows
+    }
+    benchmark.extra_info["paper_master_avg_ms"] = {
+        "C": 256, "C+A": 522, "C+A+B": 1011
+    }

@@ -1,0 +1,18 @@
+"""Figure 8 — model graph growth during a C+A+B mapping run."""
+
+from repro.experiments import fig8_model_growth
+
+
+def test_fig8_model_growth(once, benchmark):
+    exp = once(fig8_model_growth.run, "C+A+B")
+    # Headlines: peak >> final; final = actual node count; frontier drains.
+    assert exp.final_nodes == exp.actual_nodes == 140
+    assert exp.peak_nodes > 1.5 * exp.final_nodes
+    assert exp.samples[-1].n_frontier == 0
+    # Edge series dominates node series at every sample (the paper's top
+    # line is the edge count).
+    assert all(s.n_edges >= s.n_nodes - 1 for s in exp.samples[5:])
+    benchmark.extra_info["peak_model_nodes"] = exp.peak_nodes
+    benchmark.extra_info["paper_peak_model_nodes"] = 750
+    benchmark.extra_info["final_nodes"] = exp.final_nodes
+    benchmark.extra_info["explorations"] = exp.result.explorations

@@ -1,0 +1,32 @@
+"""Figure 9 — map time vs number of hosts running a mapper daemon."""
+
+from repro.experiments import fig9_responders
+
+
+def test_fig9_responder_speedup(once, benchmark):
+    points = once(
+        fig9_responders.run,
+        "C+A+B",
+        counts=(1, 5, 15, 20, 40, 70, 100),
+        max_explorations=1200,
+    )
+    seq = {p.n_responders: p for p in points if p.placement == "sequential"}
+    rnd = {p.n_responders: p for p in points if p.placement == "random"}
+
+    # The paper's headline: ~8x speedup from 1 to 100 responders.
+    speedup = seq[1].elapsed_ms / seq[100].elapsed_ms
+    assert 4.0 <= speedup <= 16.0
+
+    # "After 15 randomly-placed mappers ... within a factor of 2 of its
+    # minimum, and after 20 the time is within a factor of 1.5."
+    minimum = min(p.elapsed_ms for p in points)
+    assert rnd[15].elapsed_ms <= 2.0 * minimum
+    assert rnd[20].elapsed_ms <= 1.6 * minimum
+
+    # Sequential fill shows the step discontinuities: adding hosts inside
+    # already-covered subclusters helps far less than the first host of a
+    # new one.
+    assert seq[40].elapsed_ms < 0.5 * seq[15].elapsed_ms
+
+    benchmark.extra_info["speedup_1_to_100"] = round(speedup, 1)
+    benchmark.extra_info["paper_speedup"] = 8.0

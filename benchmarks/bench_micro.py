@@ -1,0 +1,78 @@
+"""Microbenchmarks of the substrate hot paths.
+
+These are the operations the experiment harness executes millions of times;
+tracking them guards against performance regressions in the simulator.
+"""
+
+import pytest
+
+from repro.core.mapper import BerkeleyMapper
+from repro.routing.paths import all_pairs_updown_paths
+from repro.routing.updown import orient_updown
+from repro.simulator.path_eval import evaluate_route
+from repro.simulator.quiescent import QuiescentProbeService
+from repro.simulator.turns import switch_probe_turns
+from repro.topology.analysis import core_decomposition
+from repro.topology.generators import build_full_now, build_subcluster
+from repro.topology.isomorphism import match_networks
+
+
+@pytest.fixture(scope="module")
+def now_c():
+    return build_subcluster("C")
+
+
+@pytest.fixture(scope="module")
+def now_full():
+    return build_full_now()
+
+
+def test_route_evaluation(benchmark, now_c):
+    turns = (5, 1, -2, 2, -1)
+    result = benchmark(evaluate_route, now_c, "C-n00", turns)
+    assert result.hops >= 1
+
+
+def test_switch_probe_evaluation(benchmark, now_c):
+    loop = switch_probe_turns((5, 1, 2))
+    benchmark(evaluate_route, now_c, "C-n00", loop)
+
+
+def test_single_probe_pair(benchmark, now_c):
+    svc = QuiescentProbeService(now_c, "C-n00")
+    benchmark(svc.response, (5, 1), host_first=False)
+
+
+def test_core_decomposition_subcluster(benchmark, now_c):
+    decomp = benchmark.pedantic(
+        core_decomposition, args=(now_c, "C-svc"), rounds=1, iterations=1
+    )
+    assert decomp.search_depth == 11
+
+
+def test_full_mapping_run_subcluster(benchmark, now_c):
+    def run():
+        svc = QuiescentProbeService(now_c, "C-svc")
+        return BerkeleyMapper(svc, search_depth=11, host_first=False).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.network.n_switches == 13
+
+
+def test_floyd_warshall_full_now(benchmark, now_full):
+    orientation = orient_updown(now_full)
+    paths = benchmark.pedantic(
+        all_pairs_updown_paths,
+        args=(now_full, orientation),
+        rounds=1,
+        iterations=1,
+    )
+    assert paths.distance("C-n00", "B-n00") is not None
+
+
+def test_isomorphism_check_full_now(benchmark, now_full):
+    copy = now_full.copy()
+    report = benchmark.pedantic(
+        match_networks, args=(copy, now_full), rounds=1, iterations=1
+    )
+    assert report

@@ -1,0 +1,22 @@
+"""Section 6 extension — parallel local mapping with partial-map exchange."""
+
+from repro.experiments import parallel_ext
+
+
+def test_parallel_mapping_vs_single(once, benchmark):
+    rows = once(parallel_ext.run, "C+A+B")
+    single, parallel = rows
+    assert single.complete
+    assert parallel.complete
+    # The conjectured win: parallel wall clock (max local time) beats the
+    # single deep mapper, at the cost of redundant total probes.
+    assert parallel.wall_ms < single.wall_ms
+    assert parallel.probes > single.probes
+    benchmark.extra_info["wall_ms"] = {
+        "single": round(single.wall_ms),
+        "parallel": round(parallel.wall_ms),
+    }
+    benchmark.extra_info["total_probes"] = {
+        "single": single.probes,
+        "parallel": parallel.probes,
+    }

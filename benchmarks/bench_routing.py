@@ -1,0 +1,19 @@
+"""Section 5.5 — UP*/DOWN* route computation from generated maps."""
+
+from repro.experiments import routing_study
+
+
+def test_routing_pipeline_all_systems(once, benchmark):
+    rows = once(routing_study.run)
+    for row in rows:
+        assert row.deadlock_free, row.system
+        assert row.routes == row.host_pairs, row.system
+        assert row.routes_valid_on_actual == row.routes, row.system
+        assert row.distribution_ok, row.system
+    benchmark.extra_info["routes"] = {r.system: r.routes for r in rows}
+    benchmark.extra_info["max_hops"] = {
+        r.system: r.max_route_hops for r in rows
+    }
+    benchmark.extra_info["relabeled_dominant"] = {
+        r.system: r.relabeled_switches for r in rows
+    }

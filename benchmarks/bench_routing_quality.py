@@ -1,0 +1,33 @@
+"""Section 5.5 qualitative claims — route quality metrics."""
+
+from repro.experiments import routing_quality
+
+
+def test_routing_quality_claims(once, benchmark):
+    rows = once(routing_quality.run)
+    by_name = {r.topology: r for r in rows}
+
+    # The NOW root choice avoids root congestion (packets stop at the LCA).
+    assert by_name["NOW subcluster C"].root_congestion < 1.0
+    # Rings funnel traffic through the root region.
+    assert by_name["6-switch ring"].root_congestion > 1.0
+    # The relabeling heuristic fires on the diamond's host-free far switch.
+    assert by_name["diamond (relabel on)"].relabeled == 1
+    assert by_name["diamond (relabel off)"].relabeled == 0
+    # UP*/DOWN* paths on these topologies are near-shortest.
+    assert all(r.mean_inflation < 1.3 for r in rows)
+
+    spread = routing_quality.spread_demo()
+    ((_pair, counts),) = spread.items()
+    # Randomized wire choice uses more than one of the parallel cables.
+    assert sum(1 for c in counts if c > 0) >= 2
+    # Section 6 alternative-scheme comparison: LASH removes the ring's
+    # path inflation at the cost of a second virtual layer.
+    schemes = {(r.topology, r.scheme): r for r in routing_quality.compare_schemes()}
+    assert schemes[("8-switch ring", "UP*/DOWN*")].max_inflation > 1.0
+    assert schemes[("8-switch ring", "LASH")].max_inflation == 1.0
+    assert schemes[("8-switch ring", "LASH")].virtual_layers >= 2
+    assert all(r.deadlock_free for r in schemes.values())
+    benchmark.extra_info["root_congestion"] = {
+        r.topology: round(r.root_congestion, 2) for r in rows
+    }

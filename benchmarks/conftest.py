@@ -1,0 +1,23 @@
+"""Shared benchmark configuration.
+
+Every paper table/figure has a `bench_*` module here. The benchmarks call
+the same `repro.experiments.*` entry points the CLI uses, assert the
+reproduced claims, and attach the headline numbers via
+`benchmark.extra_info` so `--benchmark-json` output carries them.
+
+Heavy experiments run once per session (`rounds=1`); microbenchmarks use
+pytest-benchmark's normal calibration.
+"""
+
+import pytest
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Run a heavy experiment exactly once under the benchmark clock."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run

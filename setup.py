@@ -1,0 +1,9 @@
+"""Shim for environments whose pip cannot do PEP 517 editable installs
+(no `wheel` package available offline). All metadata lives in pyproject.toml.
+
+Use: pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

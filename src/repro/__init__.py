@@ -1,0 +1,105 @@
+"""repro — a reproduction of *System Area Network Mapping* (SPAA 1997).
+
+Mainwaring, Chun, Schleimer & Wilkerson's probe-based algorithm maps a
+switched system-area network (Myrinet-like: anonymous 8-port crossbars,
+source-based cut-through routing, relative port addressing) purely from
+in-band probe messages, then derives mutually deadlock-free UP*/DOWN*
+routes from the map.
+
+Quickstart::
+
+    from repro import (
+        BerkeleyMapper, QuiescentProbeService,
+        build_subcluster, recommended_search_depth, match_networks,
+    )
+
+    net = build_subcluster("C")                      # the paper's testbed
+    svc = QuiescentProbeService(net, "C-svc")        # in-band probe access
+    depth = recommended_search_depth(net, "C-svc")   # the proven Q+D+1
+    result = BerkeleyMapper(svc, search_depth=depth).run()
+    assert match_networks(result.network, net)       # got the truth back
+
+Package layout:
+
+- :mod:`repro.topology` — the network model, generators, analyses;
+- :mod:`repro.simulator` — the Myrinet substrate (message semantics,
+  collision models, probes, timing, contention, faults);
+- :mod:`repro.core` — the Berkeley Algorithm (simplified + production),
+  planner, master/slave and election drivers;
+- :mod:`repro.baselines` — the Myricom Algorithm and the self-identifying
+  switch hypothetical;
+- :mod:`repro.routing` — UP*/DOWN* routing, deadlock verification,
+  route compilation and distribution;
+- :mod:`repro.extensions` — Section 6 future work, implemented;
+- :mod:`repro.experiments` — regenerate every table and figure.
+"""
+
+from repro.baselines import MyricomMapper, SelfIdMapper
+from repro.core import BerkeleyMapper, LabeledMapper, MapResult, MappingError
+from repro.core.remapper import RemapCycle, RemapperDaemon
+from repro.routing import (
+    all_pairs_updown_paths,
+    compile_route_tables,
+    distribute_routes,
+    orient_updown,
+    routes_deadlock_free,
+)
+from repro.simulator import (
+    CircuitModel,
+    CutThroughModel,
+    PacketModel,
+    QuiescentProbeService,
+)
+from repro.topology import Network, NetworkBuilder
+from repro.topology.analysis import (
+    core_network,
+    recommended_search_depth,
+    separated_set,
+)
+from repro.topology.generators import (
+    build_full_now,
+    build_subcluster,
+    combine_subclusters,
+    random_san,
+)
+from repro.topology.diff import MapDiff, diff_networks
+from repro.topology.isomorphism import isomorphic_up_to_port_offsets, match_networks
+from repro.topology.serialize import load_network, save_network
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BerkeleyMapper",
+    "CircuitModel",
+    "CutThroughModel",
+    "LabeledMapper",
+    "MapResult",
+    "MappingError",
+    "MapDiff",
+    "MyricomMapper",
+    "Network",
+    "NetworkBuilder",
+    "PacketModel",
+    "QuiescentProbeService",
+    "RemapCycle",
+    "RemapperDaemon",
+    "SelfIdMapper",
+    "__version__",
+    "all_pairs_updown_paths",
+    "build_full_now",
+    "build_subcluster",
+    "combine_subclusters",
+    "compile_route_tables",
+    "core_network",
+    "diff_networks",
+    "distribute_routes",
+    "isomorphic_up_to_port_offsets",
+    "load_network",
+    "match_networks",
+    "orient_updown",
+    "random_san",
+    "recommended_search_depth",
+    "routes_deadlock_free",
+    "save_network",
+    "separated_set",
+]

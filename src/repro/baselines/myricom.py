@@ -1,0 +1,296 @@
+"""The Myricom Algorithm (Section 4 of the paper).
+
+"The Myricom Algorithm performs a breadth-first exploration of the network
+... While switches remain on their frontier queue, it pops off each one and
+explores it. ... The Myricom Algorithm uses relative switch port addressing
+and a generalization of loopback probe messages to test if the current
+switch (the one just popped off the frontier queue) has been explored. ...
+To test if A is B, the Myricom Algorithm sends probes of the form
+``T1...Tn X -Sm...-S1`` where X spans any single turn."
+
+Where the Berkeley Algorithm discovers replicates *lazily* (structural
+deductions propagating backwards from hosts), the Myricom Algorithm is
+*eager*: every frontier candidate is compared, with O(N) probes, against
+every already-explored switch before being explored itself — O(N²) messages
+with a large constant (Section 4.2).
+
+Implementation notes (faithful to the text, with two documented choices):
+
+- the paper's X sweep is the 14 turns ``{-7..-1, +1..+7}``; we additionally
+  send ``X = 0``, which covers the case where the candidate's route enters
+  the explored switch at exactly its comparison route's entry port (the
+  14-turn sweep is blind there);
+- the X sweep is pruned with the same sound entry-port-window arithmetic as
+  the Berkeley planner ("employs a variety of heuristics to reduce the
+  total number of probes"), and explored switches at the candidate's BFS
+  depth are compared first so matches exit early;
+- the per-category accounting matches Figure 10's columns: ``loop``
+  (self-comparison probes, which is what detects loopback cables), ``host``
+  and ``sw`` (per-port probes when exploring a new switch), and ``comp``
+  (comparisons against other explored switches).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.mapper import MappingError
+from repro.core.planner import PortPlan
+from repro.simulator.probes import ProbeStats
+from repro.simulator.quiescent import QuiescentProbeService
+from repro.simulator.turns import Turns, reverse_turns
+from repro.topology.model import Network
+
+__all__ = ["MyricomMapper", "MyricomResult", "ProbeBreakdown"]
+
+
+@dataclass(slots=True)
+class ProbeBreakdown:
+    """Figure 10's probe categories."""
+
+    loop: int = 0
+    host: int = 0
+    switch: int = 0
+    compare: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.loop + self.host + self.switch + self.compare
+
+
+@dataclass(slots=True)
+class MyricomResult:
+    """Output of a Myricom Algorithm run."""
+
+    network: Network
+    breakdown: ProbeBreakdown
+    stats: ProbeStats
+    mapper_host: str
+    candidates_popped: int
+    switches_explored: int
+
+    @property
+    def elapsed_ms(self) -> float:
+        return self.stats.elapsed_ms
+
+
+class _Switch:
+    """An explored switch: its route and relative-port knowledge."""
+
+    __slots__ = ("sid", "route", "ports", "window")
+
+    def __init__(self, sid: int, route: Turns, radix: int) -> None:
+        self.sid = sid
+        self.route = route  # brings a worm into this switch
+        #: relative index (port - entry port) -> ("host", name) | ("switch", sid)
+        self.ports: dict[int, tuple[str, object]] = {}
+        #: feasible absolute entry ports, narrowed by hits (planner window)
+        self.window: tuple[int, int] = (0, radix - 1)
+
+    @property
+    def depth(self) -> int:
+        return len(self.route)
+
+
+@dataclass(slots=True)
+class _Candidate:
+    route: Turns  # route into the candidate switch
+    parent: _Switch
+    parent_turn: int
+
+
+class MyricomMapper:
+    """Drive the Myricom Algorithm against a probe service.
+
+    Requires a service with the raw ``probe_loopback`` facility
+    (:class:`~repro.simulator.quiescent.QuiescentProbeService` provides it).
+    """
+
+    def __init__(
+        self,
+        service: QuiescentProbeService,
+        *,
+        search_depth: int,
+        radix: int = 8,
+    ) -> None:
+        if search_depth < 1:
+            raise ValueError("search_depth must be at least 1")
+        self._svc = service
+        self._depth = search_depth
+        self._radix = radix
+        self._ids = itertools.count()
+        self._explored: list[_Switch] = []
+        self._hosts: dict[str, tuple[_Switch, int]] = {}
+        self._breakdown = ProbeBreakdown()
+        self._pops = 0
+
+    # ------------------------------------------------------------------
+    def run(self) -> MyricomResult:
+        root = _Switch(next(self._ids), (), self._radix)
+        self._explored.append(root)
+        frontier: deque[_Candidate] = deque()
+        self._explore(root, frontier)
+        while frontier:
+            cand = frontier.popleft()
+            self._pops += 1
+            match = self._identify(cand)
+            if match is not None:
+                switch, rel = match
+                self._record_wire(cand.parent, cand.parent_turn, switch, rel)
+                continue
+            new = _Switch(next(self._ids), cand.route, self._radix)
+            self._explored.append(new)
+            self._record_wire(cand.parent, cand.parent_turn, new, 0)
+            if new.depth < self._depth:
+                self._explore(new, frontier)
+        network = self._build_network()
+        return MyricomResult(
+            network=network,
+            breakdown=self._breakdown,
+            stats=self._svc.stats.snapshot(),
+            mapper_host=self._svc.mapper_host,
+            candidates_popped=self._pops,
+            switches_explored=len(self._explored),
+        )
+
+    # ------------------------------------------------------------------
+    # exploration of a confirmed-new switch
+    # ------------------------------------------------------------------
+    def _explore(self, sw: _Switch, frontier: deque[_Candidate]) -> None:
+        plan = PortPlan(radix=self._radix)
+        if sw.sid == 0:
+            # The root switch is entered over the mapper's own wire.
+            self._hosts[self._svc.mapper_host] = (sw, 0)
+            sw.ports[0] = ("host", self._svc.mapper_host)
+        while (turn := plan.next_turn()) is not None:
+            route = sw.route + (turn,)
+            host = self._svc.probe_host(route)
+            self._breakdown.host += 1
+            if host is not None:
+                plan.feed(turn, True)
+                if host in self._hosts:
+                    raise MappingError(
+                        f"host {host} appeared on two switch ports; "
+                        "violates the single-attachment assumption"
+                    )
+                self._hosts[host] = (sw, turn)
+                sw.ports[turn] = ("host", host)
+                continue
+            self._breakdown.switch += 1
+            if self._svc.probe_switch(route):
+                plan.feed(turn, True)
+                frontier.append(_Candidate(route, sw, turn))
+            else:
+                plan.feed(turn, False)
+        sw.window = plan.entry_port_window
+
+    # ------------------------------------------------------------------
+    # eager replicate identification (the comparison probes)
+    # ------------------------------------------------------------------
+    def _identify(self, cand: _Candidate) -> tuple[_Switch, int] | None:
+        """Compare the candidate against explored switches; None = new.
+
+        The self-comparison against the candidate's parent runs first and is
+        counted in the ``loop`` category (it is what detects loopback
+        cables); remaining switches are ordered by BFS-depth proximity.
+        """
+        others = [s for s in self._explored if s is not cand.parent]
+        others.sort(key=lambda s: (abs(s.depth - len(cand.route)), s.sid))
+        for category, sw in [("loop", cand.parent)] + [("comp", s) for s in others]:
+            rel = self._compare(cand.route, sw, category)
+            if rel is not None:
+                return sw, rel
+        return None
+
+    def _compare(self, route: Turns, sw: _Switch, category: str) -> int | None:
+        """Is the switch at ``route`` the explored ``sw``? Returns the
+        relative index at which ``route`` enters ``sw``, else None.
+
+        Probe: ``route + (X,) + reverse(sw.route)``. It loops back to the
+        mapper iff the candidate is ``sw`` and turn X moves the worm from
+        the candidate's entry port onto ``sw``'s comparison-route entry
+        port: the entry's relative index at ``sw`` is then ``-X``.
+        """
+        retrace = reverse_turns(sw.route)
+        lo, hi = sw.window
+        for x in self._x_sweep():
+            # Sound pruning: entering at relative index -X must be feasible
+            # for some absolute entry port q in sw's window: q + (-X) must
+            # be a legal port.
+            if not (-hi <= -x <= (self._radix - 1) - lo):
+                continue
+            if category == "loop":
+                self._breakdown.loop += 1
+            else:
+                self._breakdown.compare += 1
+            if self._svc.probe_loopback(route + (x,) + retrace):
+                return -x
+        return None
+
+    def _x_sweep(self):
+        """X order: 0 first (same-entry-port case), then outward by size."""
+        yield 0
+        for mag in range(1, self._radix):
+            yield mag
+            yield -mag
+
+    # ------------------------------------------------------------------
+    # map assembly
+    # ------------------------------------------------------------------
+    def _record_wire(
+        self, parent: _Switch, parent_turn: int, child: _Switch, child_rel: int
+    ) -> None:
+        existing = parent.ports.get(parent_turn)
+        entry = ("switch", (child.sid, child_rel))
+        if existing is not None and existing != entry:
+            raise MappingError(
+                f"switch port resolved to two different far ends: "
+                f"{existing} vs {entry}"
+            )
+        parent.ports[parent_turn] = entry
+        back = child.ports.get(child_rel)
+        back_entry = ("switch", (parent.sid, parent_turn))
+        if back is not None and back != back_entry:
+            raise MappingError(
+                f"switch port resolved to two different far ends: "
+                f"{back} vs {back_entry}"
+            )
+        child.ports[child_rel] = back_entry
+
+    def _build_network(self) -> Network:
+        net = Network(default_radix=self._radix)
+        names: dict[int, str] = {}
+        offsets: dict[int, int] = {}
+        by_sid = {s.sid: s for s in self._explored}
+        for sw in self._explored:
+            name = f"switch-{sw.sid}"
+            names[sw.sid] = name
+            used = sorted(sw.ports)
+            lo = used[0] if used else 0
+            hi = used[-1] if used else 0
+            if hi - lo >= self._radix:
+                raise MappingError(f"{name} spans more ports than the radix")
+            offsets[sw.sid] = -lo
+            net.add_switch(name, radix=self._radix)
+        for host in self._hosts:
+            net.add_host(host)
+        seen: set[frozenset] = set()
+        for sw in self._explored:
+            for rel, (kind, payload) in sw.ports.items():
+                port = rel + offsets[sw.sid]
+                if kind == "host":
+                    end_a = (names[sw.sid], port)
+                    end_b = (payload, 0)
+                else:
+                    far_sid, far_rel = payload  # type: ignore[misc]
+                    far = by_sid[far_sid]
+                    end_a = (names[sw.sid], port)
+                    end_b = (names[far_sid], far_rel + offsets[far_sid])
+                key = frozenset((end_a, end_b))
+                if key in seen:
+                    continue
+                seen.add(key)
+                net.connect(end_a[0], end_a[1], end_b[0], end_b[1])
+        return net

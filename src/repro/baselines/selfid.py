@@ -1,0 +1,226 @@
+"""Hypothetical self-identifying-switch mapper (Section 6 discussion).
+
+"It is tempting to believe that architectural support for self-identifying
+switches would make the network mapping problem trivial. ... if a probe made
+it to a switch and back, it would carry a unique identifier and the
+exploration process would be simpler."
+
+This module implements that hypothetical: a probe service extension whose
+switch-probes return the far switch's unique id (simulating the hardware
+change), and a BFS mapper that exploits it. Replicates never exist — every
+discovered switch is recognized on sight — so each switch is explored
+exactly once, and identifying which *port* of an already-known switch a new
+wire lands on needs a single bounded X-sweep against that one switch (the
+Myricom Algorithm needs the same sweep against *every* explored switch).
+
+The paper's caveat stands: self-identification removes replicate detection,
+not the probe-collision or cross-traffic problems — the service still
+applies the collision model, so a sweep probe can fail and the wire's far
+index stay unresolved (counted in ``unresolved_wires``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.mapper import MappingError
+from repro.core.planner import PortPlan
+from repro.simulator.path_eval import PathStatus, evaluate_route
+from repro.simulator.probes import ProbeKind, ProbeRecord, ProbeStats
+from repro.simulator.quiescent import QuiescentProbeService
+from repro.simulator.turns import Turns, reverse_turns, switch_probe_turns, validate_turns
+from repro.topology.model import Network
+
+__all__ = ["SelfIdMapper", "SelfIdProbeService", "SelfIdResult"]
+
+
+class SelfIdProbeService(QuiescentProbeService):
+    """Probe service for hardware with self-identifying switches."""
+
+    def probe_switch_id(self, turns: Turns) -> str | None:
+        """Switch-probe whose returning loopback carries the switch's id."""
+        turns = validate_turns(turns)
+        loop = switch_probe_turns(turns)
+        path = evaluate_route(self.net, self.mapper, loop)
+        switch_id: str | None = None
+        if (
+            path.status is PathStatus.DELIVERED
+            and self.collision.blocked_at(path.traversals) is None
+            and not self.faults.kills_probe(path)
+        ):
+            # The identified switch is the bounce point: the node reached
+            # after the forward half of the loopback string.
+            bounce = path.nodes[len(turns) + 1]
+            switch_id = bounce
+        hit = switch_id is not None
+        cost = self._jittered(
+            self.timing.probe_response_us(path.hops, 0)
+            if hit
+            else self.timing.probe_timeout_us()
+        )
+        self._stats.record(ProbeRecord(ProbeKind.SWITCH, turns, hit, cost, switch_id))
+        return switch_id
+
+
+@dataclass(slots=True)
+class _IdSwitch:
+    sid: str
+    route: Turns
+    ports: dict  # relative index -> ("host", name) | ("switch", (sid, rel))
+    window: tuple[int, int]
+
+
+@dataclass(slots=True)
+class SelfIdResult:
+    network: Network
+    stats: ProbeStats
+    mapper_host: str
+    switches_explored: int
+    pin_probes: int
+    unresolved_wires: int
+
+    @property
+    def elapsed_ms(self) -> float:
+        return self.stats.elapsed_ms
+
+
+class SelfIdMapper:
+    """BFS mapping with self-identifying switches: no replicates, ever."""
+
+    def __init__(
+        self, service: SelfIdProbeService, *, search_depth: int, radix: int = 8
+    ) -> None:
+        if search_depth < 1:
+            raise ValueError("search_depth must be at least 1")
+        self._svc = service
+        self._depth = search_depth
+        self._radix = radix
+        self._pin_probes = 0
+        self._unresolved = 0
+
+    def run(self) -> SelfIdResult:
+        svc = self._svc
+        root_id = svc.probe_switch_id(())
+        if root_id is None:
+            raise MappingError("mapper host is not attached to a switch")
+        switches: dict[str, _IdSwitch] = {
+            root_id: _IdSwitch(
+                root_id,
+                (),
+                {0: ("host", svc.mapper_host)},
+                (0, self._radix - 1),
+            )
+        }
+        frontier: deque[str] = deque([root_id])
+        while frontier:
+            sw = switches[frontier.popleft()]
+            if len(sw.route) >= self._depth:
+                continue
+            self._scan(sw, switches, frontier)
+        return SelfIdResult(
+            network=self._build(switches),
+            stats=svc.stats.snapshot(),
+            mapper_host=svc.mapper_host,
+            switches_explored=len(switches),
+            pin_probes=self._pin_probes,
+            unresolved_wires=self._unresolved,
+        )
+
+    # ------------------------------------------------------------------
+    def _scan(
+        self, sw: _IdSwitch, switches: dict[str, _IdSwitch], frontier: deque[str]
+    ) -> None:
+        plan = PortPlan(radix=self._radix)
+        for idx in sw.ports:
+            plan.feed(idx, True)
+        while (turn := plan.next_turn()) is not None:
+            if turn in sw.ports:
+                continue
+            probe = sw.route + (turn,)
+            far_id = self._svc.probe_switch_id(probe)
+            if far_id is not None:
+                plan.feed(turn, True)
+                if far_id not in switches:
+                    far = _IdSwitch(
+                        far_id,
+                        probe,
+                        {0: ("switch", (sw.sid, turn))},
+                        (0, self._radix - 1),
+                    )
+                    switches[far_id] = far
+                    sw.ports[turn] = ("switch", (far_id, 0))
+                    frontier.append(far_id)
+                else:
+                    far = switches[far_id]
+                    rel = self._pin(probe, far)
+                    if rel is None:
+                        self._unresolved += 1
+                    else:
+                        sw.ports[turn] = ("switch", (far_id, rel))
+                        far.ports.setdefault(rel, ("switch", (sw.sid, turn)))
+                continue
+            host = self._svc.probe_host(probe)
+            plan.feed(turn, host is not None)
+            if host is not None:
+                sw.ports[turn] = ("host", host)
+        sw.window = plan.entry_port_window
+
+    def _pin(self, route: Turns, far: _IdSwitch) -> int | None:
+        """One X-sweep against the (single, known) far switch's route.
+
+        Probe ``route + (X,) + reverse(far.route)`` loops back iff turn X
+        steps from this wire's entry port onto the far route's entry port,
+        i.e. the wire enters ``far`` at relative index ``-X``.
+        """
+        retrace = reverse_turns(far.route)
+        lo, hi = far.window
+        for x in itertools.chain(
+            (0,), (s * m for m in range(1, self._radix) for s in (1, -1))
+        ):
+            if not (-hi <= -x <= (self._radix - 1) - lo):
+                continue
+            if -x in far.ports:
+                continue  # that far port is already known to hold another wire
+            self._pin_probes += 1
+            if self._svc.probe_loopback(route + (x,) + retrace):
+                return -x
+        return None
+
+    # ------------------------------------------------------------------
+    def _build(self, switches: dict[str, _IdSwitch]) -> Network:
+        net = Network(default_radix=self._radix)
+        names = {sid: f"switch-{i}" for i, sid in enumerate(sorted(switches))}
+        offsets: dict[str, int] = {}
+        for sid, sw in switches.items():
+            used = sorted(sw.ports)
+            lo = used[0] if used else 0
+            hi = used[-1] if used else 0
+            if hi - lo >= self._radix:
+                raise MappingError("port span exceeds radix")
+            offsets[sid] = -lo
+            net.add_switch(names[sid], radix=self._radix)
+        hosts = {
+            payload
+            for sw in switches.values()
+            for kind, payload in sw.ports.values()
+            if kind == "host"
+        }
+        for h in sorted(hosts):  # type: ignore[arg-type]
+            net.add_host(h)
+        seen: set[frozenset] = set()
+        for sid, sw in switches.items():
+            for rel, (kind, payload) in sw.ports.items():
+                a = (names[sid], rel + offsets[sid])
+                if kind == "host":
+                    b = (payload, 0)
+                else:
+                    far_sid, far_rel = payload
+                    b = (names[far_sid], far_rel + offsets[far_sid])
+                key = frozenset((a, b))
+                if key in seen:
+                    continue
+                seen.add(key)
+                net.connect(a[0], a[1], b[0], b[1])
+        return net

@@ -1,0 +1,278 @@
+"""Command-line interface: ``san-map`` (or ``python -m repro``).
+
+Subcommands mirror the life cycle of the paper's system:
+
+- ``generate`` — build a topology (NOW subclusters, regular shapes, random)
+  and write it as JSON;
+- ``analyze``  — report D, Q, F and the proven search depth of a topology;
+- ``map``      — run a mapping algorithm in-band against a topology and
+  write/render the produced map;
+- ``routes``   — compute UP*/DOWN* routes from a map, verify deadlock
+  freedom, optionally verify delivery against the actual topology;
+- ``experiment`` — regenerate any of the paper's tables/figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.topology.serialize import load_network, save_network
+
+__all__ = ["main"]
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.topology import generators as gen
+
+    kind = args.topology
+    if kind in ("now-a", "now-b", "now-c"):
+        net = gen.build_subcluster(kind[-1].upper())
+    elif kind == "now-full":
+        net = gen.build_full_now()
+    elif kind == "ring":
+        net = gen.build_ring(args.size, hosts_per_switch=args.hosts_per_switch)
+    elif kind == "chain":
+        net = gen.build_chain(args.size, hosts_per_switch=args.hosts_per_switch)
+    elif kind == "mesh":
+        net = gen.build_mesh(args.size, args.size, hosts_per_switch=args.hosts_per_switch)
+    elif kind == "torus":
+        net = gen.build_torus(args.size, args.size, hosts_per_switch=args.hosts_per_switch)
+    elif kind == "hypercube":
+        net = gen.build_hypercube(args.size, hosts_per_switch=args.hosts_per_switch)
+    elif kind == "random":
+        net = gen.random_san(
+            n_switches=args.size,
+            n_hosts=max(2, args.size * args.hosts_per_switch),
+            extra_links=args.size // 2,
+            seed=args.seed,
+        )
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(kind)
+    save_network(net, args.out)
+    print(f"wrote {args.out}: {net.n_hosts} hosts, {net.n_switches} switches, "
+          f"{net.n_wires} wires")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.topology.analysis import core_decomposition
+
+    net = load_network(args.network)
+    mapper = args.mapper or sorted(net.hosts)[0]
+    d = core_decomposition(net, mapper)
+    print(f"network: {net.n_hosts} hosts, {net.n_switches} switches, "
+          f"{net.n_wires} wires")
+    print(f"mapper host: {mapper}")
+    print(f"diameter D = {d.diameter}")
+    print(f"Q = {d.q}")
+    print(f"F (switch-bridge-separated) = {sorted(d.f_set) or 'empty'}")
+    print(f"proven search depth Q+D+1 = {d.search_depth}")
+    return 0
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    from repro.simulator.quiescent import QuiescentProbeService
+    from repro.topology.analysis import core_network, recommended_search_depth
+    from repro.topology.isomorphism import match_networks
+    from repro.topology.render import to_ascii
+
+    net = load_network(args.network)
+    mapper_host = args.mapper or sorted(net.hosts)[0]
+    depth = args.depth or recommended_search_depth(net, mapper_host)
+
+    if args.algorithm == "berkeley":
+        from repro.core.mapper import BerkeleyMapper
+
+        svc = QuiescentProbeService(net, mapper_host)
+        result = BerkeleyMapper(svc, search_depth=depth, host_first=False).run()
+        produced, stats = result.network, result.stats
+    elif args.algorithm == "myricom":
+        from repro.baselines.myricom import MyricomMapper
+
+        svc = QuiescentProbeService(net, mapper_host)
+        result = MyricomMapper(svc, search_depth=depth).run()
+        produced, stats = result.network, result.stats
+    else:
+        from repro.baselines.selfid import SelfIdMapper, SelfIdProbeService
+
+        svc = SelfIdProbeService(net, mapper_host)
+        result = SelfIdMapper(svc, search_depth=depth).run()
+        produced, stats = result.network, result.stats
+
+    print(f"mapped with {args.algorithm}: {produced.n_hosts} hosts, "
+          f"{produced.n_switches} switches, {produced.n_wires} wires")
+    print(f"probes: {stats.total_probes} ({stats.total_hits} answered), "
+          f"simulated time {stats.elapsed_ms:.1f} ms")
+    report = match_networks(produced, core_network(net))
+    print(f"verified against actual core: "
+          f"{'isomorphic' if report else f'MISMATCH ({report.reason})'}")
+    if args.out:
+        save_network(produced, args.out)
+        print(f"wrote {args.out}")
+    if args.render:
+        print(to_ascii(produced, title=f"map via {args.algorithm}"))
+    return 0 if report else 1
+
+
+def _cmd_routes(args: argparse.Namespace) -> int:
+    from repro.routing import (
+        all_pairs_updown_paths,
+        compile_route_tables,
+        lash_route_tables,
+        orient_updown,
+        routes_deadlock_free,
+    )
+
+    net_map = load_network(args.map)
+    if args.scheme == "lash":
+        lash = lash_route_tables(net_map)
+        tables = lash.tables
+        safe = all(
+            routes_deadlock_free(lash.layer_routes(i))
+            for i in range(lash.n_layers)
+        )
+        print(f"LASH layers (virtual channels): {lash.n_layers}")
+    else:
+        orientation = orient_updown(net_map)
+        paths = all_pairs_updown_paths(net_map, orientation)
+        tables = compile_route_tables(net_map, paths, orientation=orientation)
+        safe = routes_deadlock_free(tables)
+        print(f"root switch: {orientation.root}"
+              + (f" (relabeled dominant: {orientation.relabeled})"
+                 if orientation.relabeled else ""))
+    n_routes = sum(len(t) for t in tables.values())
+    print(f"routes: {n_routes}; deadlock-free: {safe}")
+
+    if args.verify_against:
+        from repro.simulator.path_eval import PathStatus, evaluate_route
+
+        actual = load_network(args.verify_against)
+        bad = 0
+        for table in tables.values():
+            for dst, route in table.routes.items():
+                out = evaluate_route(actual, table.host, route.turns)
+                if out.status is not PathStatus.DELIVERED or out.delivered_to != dst:
+                    bad += 1
+        print(f"delivery check on actual network: {n_routes - bad}/{n_routes} ok")
+        safe = safe and bad == 0
+
+    if args.out:
+        doc = {
+            host: {
+                dst: list(route.turns) for dst, route in table.routes.items()
+            }
+            for host, table in tables.items()
+        }
+        Path(args.out).write_text(json.dumps(doc, indent=2, sort_keys=True))
+        print(f"wrote {args.out}")
+    return 0 if safe else 1
+
+
+_EXPERIMENTS = {
+    "fig3": "repro.experiments.fig3_components",
+    "fig4": "repro.experiments.fig4_subcluster_map",
+    "fig5": "repro.experiments.fig5_full_map",
+    "fig6": "repro.experiments.fig6_probe_counts",
+    "fig7": "repro.experiments.fig7_mapping_times",
+    "fig8": "repro.experiments.fig8_model_growth",
+    "fig9": "repro.experiments.fig9_responders",
+    "fig10": "repro.experiments.fig10_myricom",
+    "routing": "repro.experiments.routing_study",
+    "routing-quality": "repro.experiments.routing_quality",
+    "ablations": "repro.experiments.ablations",
+    "crosstraffic": "repro.experiments.crosstraffic_ext",
+    "parallel": "repro.experiments.parallel_ext",
+}
+
+
+def _cmd_export_data(args: argparse.Namespace) -> int:
+    from repro.experiments.export import export_figure_data
+
+    written = export_figure_data(args.out)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import importlib
+
+    names = list(_EXPERIMENTS) if args.name == "all" else [args.name]
+    for name in names:
+        module = importlib.import_module(_EXPERIMENTS[name])
+        print(f"### {name} " + "#" * 40)
+        module.main()
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="san-map",
+        description="System Area Network Mapping (SPAA 1997) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="build a topology and save it")
+    p.add_argument(
+        "--topology",
+        choices=[
+            "now-a", "now-b", "now-c", "now-full",
+            "ring", "chain", "mesh", "torus", "hypercube", "random",
+        ],
+        required=True,
+    )
+    p.add_argument("--size", type=int, default=4,
+                   help="switch count / grid side / cube dimension")
+    p.add_argument("--hosts-per-switch", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("analyze", help="report D, Q, F, search depth")
+    p.add_argument("--network", required=True)
+    p.add_argument("--mapper", default=None)
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser("map", help="map a network in-band")
+    p.add_argument("--network", required=True)
+    p.add_argument("--mapper", default=None)
+    p.add_argument("--algorithm", choices=["berkeley", "myricom", "selfid"],
+                   default="berkeley")
+    p.add_argument("--depth", type=int, default=None)
+    p.add_argument("--out", default=None)
+    p.add_argument("--render", action="store_true")
+    p.set_defaults(func=_cmd_map)
+
+    p = sub.add_parser("routes", help="compute deadlock-free routes from a map")
+    p.add_argument("--map", required=True)
+    p.add_argument("--scheme", choices=["updown", "lash"], default="updown")
+    p.add_argument("--verify-against", default=None,
+                   help="actual-topology JSON to verify deliveries on")
+    p.add_argument("--out", default=None)
+    p.set_defaults(func=_cmd_routes)
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument("name", choices=list(_EXPERIMENTS) + ["all"])
+    p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser(
+        "export-data",
+        help="write the Figure 8/9 plot series as CSV files",
+    )
+    p.add_argument("--out", required=True, help="output directory")
+    p.set_defaults(func=_cmd_export_data)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,313 @@
+"""Genuinely concurrent mapping: several live mappers, one fabric.
+
+Section 4.2's second operational mode has "all interfaces or hosts actively
+map the network". Where :mod:`repro.core.election` approximates the rivals
+with quiescent replays (fast, used for the Figure 7 sweeps), this module
+runs every mapper *for real*: each is an unmodified
+:class:`~repro.core.mapper.BerkeleyMapper` in its own lockstep-scheduled
+actor, its probes placed on a shared
+:class:`~repro.simulator.occupancy.ChannelOccupancy`. Probes that collide
+with another mapper's in-flight worm are destroyed by the forward reset and
+show up as timeouts — exactly the hardware behavior.
+
+What this lets you measure honestly:
+
+- soundness under concurrency: collisions only *hide* answers, so every
+  produced map still embeds in the truth (and is usually complete — probe
+  worms are microseconds long while probes are hundreds of microseconds
+  apart);
+- the interference cost: elapsed time and probe counts per mapper vs. a
+  solo run;
+- optional address-based yielding (the election protocol): a mapper that
+  receives a higher-address mapper's host-probe stops mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.mapper import BerkeleyMapper, MapResult
+from repro.simulator.collision import CircuitModel, CollisionModel
+from repro.simulator.lockstep import LockstepScheduler
+from repro.simulator.occupancy import ChannelOccupancy
+from repro.simulator.path_eval import PathStatus, evaluate_route
+from repro.simulator.probes import ProbeKind, ProbeRecord, ProbeStats
+from repro.simulator.timing import MYRINET_TIMING, TimingModel
+from repro.simulator.turns import Turns, switch_probe_turns, validate_turns
+from repro.topology.model import Network
+
+__all__ = ["ConcurrentOutcome", "MapperOutcome", "run_concurrent_mappers"]
+
+
+@dataclass(slots=True)
+class MapperOutcome:
+    """One mapper's result from a concurrent run."""
+
+    host: str
+    result: MapResult | None
+    finished_at_us: float
+    probes_lost_to_contention: int
+    yielded: bool
+
+
+@dataclass(slots=True)
+class ConcurrentOutcome:
+    """The whole concurrent run."""
+
+    mappers: dict[str, MapperOutcome]
+    elapsed_us: float
+    total_collisions: int
+
+    @property
+    def elapsed_ms(self) -> float:
+        return self.elapsed_us / 1000.0
+
+
+class _SharedFabric:
+    """Election/yield state shared by all concurrent probe services."""
+
+    def __init__(self, timing: TimingModel) -> None:
+        self.occupancy = ChannelOccupancy(timing)
+        self.active: dict[str, bool] = {}
+        self.yield_rule = False
+        #: do actively-mapping hosts still answer host-probes? True in the
+        #: plain everyone-maps mode (the firmware echo is always on);
+        #: False under the election protocol, where a busy user-level
+        #: mapper is silent (matching repro.core.election).
+        self.mappers_respond = True
+
+
+class _ConcurrentProbeService:
+    """Probe service whose time passes on the lockstep scheduler."""
+
+    def __init__(
+        self,
+        net: Network,
+        mapper: str,
+        scheduler: LockstepScheduler,
+        fabric: _SharedFabric,
+        *,
+        collision: CollisionModel,
+        timing: TimingModel,
+    ) -> None:
+        self._net = net
+        self._mapper = mapper
+        self._sched = scheduler
+        self._fabric = fabric
+        self._collision = collision
+        self._timing = timing
+        self._stats = ProbeStats()
+        self._turn_limit = max(
+            (net.radix(s) - 1 for s in net.switches), default=7
+        )
+        self.lost_to_contention = 0
+
+    # -- ProbeService ----------------------------------------------------
+    @property
+    def mapper_host(self) -> str:
+        return self._mapper
+
+    @property
+    def stats(self) -> ProbeStats:
+        return self._stats
+
+    def probe_host(self, turns: Turns) -> str | None:
+        turns = validate_turns(turns, limit=self._turn_limit)
+        path = evaluate_route(self._net, self._mapper, turns)
+        hit = False
+        responder: str | None = None
+        if (
+            path.status is PathStatus.DELIVERED
+            and self._collision.blocked_at(path.traversals) is None
+        ):
+            placement = self._fabric.occupancy.try_place(
+                path, self._sched.now
+            )
+            if placement.ok:
+                target = path.delivered_to
+                assert target is not None
+                # A delivered host-probe carries the sender's interface
+                # address: under the election rule a lower-address active
+                # mapper at the target yields.
+                if (
+                    self._fabric.yield_rule
+                    and target != self._mapper
+                    and self._fabric.active.get(target, False)
+                    and self._mapper > target
+                ):
+                    self._fabric.active[target] = False
+                # Under the election protocol an actively-mapping target
+                # does not reply; otherwise the echo is always on.
+                if (
+                    target == self._mapper
+                    or self._fabric.mappers_respond
+                    or not self._fabric.active.get(target, False)
+                ):
+                    hit = True
+                    responder = target
+            else:
+                self.lost_to_contention += 1
+        cost = (
+            self._timing.probe_response_us(path.hops, path.hops)
+            if hit
+            else self._timing.probe_timeout_us()
+        )
+        self._stats.record(ProbeRecord(ProbeKind.HOST, turns, hit, cost, responder))
+        self._sched.wait(cost)
+        return responder
+
+    def probe_loopback(self, turns: Turns) -> bool:
+        """Raw worm (zeros allowed) — lets the Myricom mapper run
+        concurrently too ("both algorithms have two operational modes")."""
+        seq = validate_turns(turns, allow_zero=True, limit=self._turn_limit)
+        path = evaluate_route(self._net, self._mapper, seq)
+        hit = False
+        if (
+            path.status is PathStatus.DELIVERED
+            and path.delivered_to == self._mapper
+            and self._collision.blocked_at(path.traversals) is None
+        ):
+            placement = self._fabric.occupancy.try_place(path, self._sched.now)
+            if placement.ok:
+                hit = True
+            else:
+                self.lost_to_contention += 1
+        cost = (
+            self._timing.probe_response_us(path.hops, 0)
+            if hit
+            else self._timing.probe_timeout_us()
+        )
+        self._stats.record(
+            ProbeRecord(ProbeKind.SWITCH, seq, hit, cost, "loopback" if hit else None)
+        )
+        self._sched.wait(cost)
+        return hit
+
+    def probe_switch(self, turns: Turns) -> bool:
+        turns = validate_turns(turns, limit=self._turn_limit)
+        loop = switch_probe_turns(turns, limit=self._turn_limit)
+        path = evaluate_route(self._net, self._mapper, loop)
+        hit = False
+        if (
+            path.status is PathStatus.DELIVERED
+            and self._collision.blocked_at(path.traversals) is None
+        ):
+            placement = self._fabric.occupancy.try_place(
+                path, self._sched.now
+            )
+            if placement.ok:
+                hit = True
+            else:
+                self.lost_to_contention += 1
+        cost = (
+            self._timing.probe_response_us(path.hops, 0)
+            if hit
+            else self._timing.probe_timeout_us()
+        )
+        self._stats.record(
+            ProbeRecord(ProbeKind.SWITCH, turns, hit, cost, "switch" if hit else None)
+        )
+        self._sched.wait(cost)
+        return hit
+
+
+def run_concurrent_mappers(
+    net: Network,
+    mappers: list[str],
+    *,
+    search_depth: int,
+    collision: CollisionModel | None = None,
+    timing: TimingModel = MYRINET_TIMING,
+    start_stagger_us: float = 500.0,
+    yield_rule: bool = False,
+    max_explorations: int | None = 2000,
+    mapper_factory=None,
+) -> ConcurrentOutcome:
+    """Run unmodified mappers concurrently on one fabric.
+
+    ``yield_rule`` enables the election protocol (lower-address mappers
+    stop when probed by higher ones, and active mappers do not answer
+    host-probes). Without it, every mapper answers probes and maps to
+    completion — the "everyone maps" mode.
+
+    ``mapper_factory(service)`` builds the mapper to drive (anything with a
+    ``run()`` returning an object carrying ``.network``); the default is
+    the Berkeley mapper. The Myricom mapper works too — the service
+    provides its raw-loopback probes.
+    """
+    if not mappers:
+        raise ValueError("need at least one mapper host")
+    collision = collision or CircuitModel()
+    scheduler = LockstepScheduler()
+    fabric = _SharedFabric(timing)
+    fabric.yield_rule = yield_rule
+    fabric.mappers_respond = not yield_rule
+    for host in mappers:
+        fabric.active[host] = True
+
+    outcomes: dict[str, MapperOutcome] = {}
+
+    def make_actor(host: str):
+        svc = _ConcurrentProbeService(
+            net,
+            host,
+            scheduler,
+            fabric,
+            collision=collision,
+            timing=timing,
+        )
+
+        def actor(sched: LockstepScheduler) -> None:
+            if mapper_factory is not None:
+                mapper = mapper_factory(svc)
+            else:
+                mapper = BerkeleyMapper(
+                    svc,
+                    search_depth=search_depth,
+                    host_first=False,
+                    max_explorations=max_explorations,
+                )
+            yielded = False
+            result: MapResult | None = None
+            try:
+                result = _run_yieldable(mapper, fabric, host)
+            except _Yielded:
+                yielded = True
+            fabric.active[host] = False
+            outcomes[host] = MapperOutcome(
+                host=host,
+                result=result,
+                finished_at_us=sched.now,
+                probes_lost_to_contention=svc.lost_to_contention,
+                yielded=yielded,
+            )
+
+        return actor
+
+    for i, host in enumerate(sorted(mappers)):
+        scheduler.spawn(host, make_actor(host), start_at=i * start_stagger_us)
+    elapsed = scheduler.run()
+    total = sum(o.probes_lost_to_contention for o in outcomes.values())
+    return ConcurrentOutcome(
+        mappers=outcomes, elapsed_us=elapsed, total_collisions=total
+    )
+
+
+class _Yielded(Exception):
+    pass
+
+
+def _run_yieldable(mapper, fabric: _SharedFabric, host: str):
+    """Run the mapper, aborting if the election silenced this host."""
+    if not fabric.yield_rule or not hasattr(mapper, "_explore"):
+        return mapper.run()
+
+    original_explore = mapper._explore
+
+    def checked_explore(v):
+        if not fabric.active.get(host, True):
+            raise _Yielded()
+        original_explore(v)
+
+    mapper._explore = checked_explore  # type: ignore[method-assign]
+    return mapper.run()

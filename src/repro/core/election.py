@@ -1,0 +1,359 @@
+"""Election-mode mapping: every host maps, a leader emerges (Figure 7).
+
+"Another [mode] where all interfaces or hosts actively map the network and
+in the process the participants elect a leader by comparing network
+interface addresses carried in every message. The master/slave mode is
+faster but introduces a single point of failure, whereas the election mode
+is more robust ... but has a performance cost." (Section 4.2)
+
+Protocol model
+--------------
+- Every daemon starts actively mapping within a small random spread.
+- Every probe carries its sender's interface address. A host that receives
+  a probe from a higher-address active mapper yields: it stops mapping and
+  becomes a passive responder.
+- While a daemon is *actively mapping* it does not answer host-probes (its
+  interface is busy driving its own exploration); passive and finished
+  daemons answer normally.
+- The highest-address mapper never yields; the run ends when it completes.
+
+Why this is slower than master/slave, and why the variance grows with the
+network: the winner's early host-probes to still-active rivals time out
+instead of answering. Every such miss is a lost *host anchor* — exactly the
+resource the merging deductions feed on (Lemma 3 anchors at hosts) — so
+replicates merge later and the winner explores and probes more. Which
+anchors are lost depends on start-time jitter, hence the long tail the
+paper reports for C+A+B election mode (981/1011/1208 master vs
+1065/1298/3332 election).
+
+Approximation (recorded in DESIGN.md): rival mappers replay quiescent probe
+schedules (capped — rivals yield early) to decide *when rivals silence each
+other*; the winner's mapper runs live against a time-aware probe service,
+so its probe content genuinely adapts to which hosts were silent.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+import statistics
+from dataclasses import dataclass
+
+from repro.core.mapper import BerkeleyMapper, MapResult
+from repro.simulator.collision import CircuitModel, CollisionModel
+from repro.simulator.path_eval import PathStatus, evaluate_route
+from repro.simulator.probes import ProbeKind, ProbeRecord, ProbeStats
+from repro.simulator.quiescent import QuiescentProbeService
+from repro.simulator.timing import MYRINET_TIMING, TimingModel
+from repro.simulator.turns import Turns, switch_probe_turns, validate_turns
+from repro.topology.model import Network
+
+__all__ = ["ElectionOutcome", "election_run", "election_times"]
+
+
+@dataclass(slots=True)
+class ElectionOutcome:
+    """Result of one election-mode mapping simulation."""
+
+    winner: str
+    elapsed_ms: float
+    map_result: MapResult
+    yield_times_ms: dict[str, float]
+    anchor_misses: int
+
+    @property
+    def hosts_mapped(self) -> int:
+        return self.map_result.network.n_hosts
+
+
+def _rival_schedule(
+    net: Network,
+    host: str,
+    *,
+    search_depth: int,
+    collision: CollisionModel,
+    timing: TimingModel,
+    cap: int,
+) -> list[tuple[float, str]]:
+    """(relative time, delivered-to host) for a rival's host-probe hits.
+
+    The rival's probe sequence is its quiescent schedule; only delivered
+    host-probes matter to the election (they carry the address comparison).
+    """
+
+    class _Stop(Exception):
+        pass
+
+    svc = QuiescentProbeService(
+        net, host, collision=collision, timing=timing, keep_trace=True
+    )
+
+    class _Capped:
+        @property
+        def mapper_host(self) -> str:
+            return svc.mapper_host
+
+        @property
+        def stats(self) -> ProbeStats:
+            return svc.stats
+
+        def probe_host(self, turns):
+            self._check()
+            return svc.probe_host(turns)
+
+        def probe_switch(self, turns):
+            self._check()
+            return svc.probe_switch(turns)
+
+        @staticmethod
+        def _check() -> None:
+            if svc.stats.total_probes >= cap:
+                raise _Stop()
+
+    try:
+        BerkeleyMapper(_Capped(), search_depth=search_depth, host_first=False).run()
+    except _Stop:
+        pass
+    events: list[tuple[float, str]] = []
+    clock = 0.0
+    assert svc.stats.trace is not None
+    for rec in svc.stats.trace:
+        clock += rec.cost_us
+        if rec.kind is ProbeKind.HOST and rec.hit and rec.response is not None:
+            events.append((clock, rec.response))
+    return events
+
+
+class _ElectionProbeService:
+    """Time-aware probe service for the winner's live mapping run.
+
+    Maintains the election state: rival activity windows, the merged rival
+    probe-delivery timeline, and the rule that active mappers do not answer
+    host-probes. Anchors the winner's clock to ``stats.elapsed_us``.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        winner: str,
+        *,
+        collision: CollisionModel,
+        timing: TimingModel,
+        start_us: dict[str, float],
+        rival_events: list[tuple[float, str, str]],  # (abs time, sender, target)
+        rival_end_us: dict[str, float],
+        jitter: float,
+        rng: random.Random,
+    ) -> None:
+        self._inner = QuiescentProbeService(
+            net, winner, collision=collision, timing=timing
+        )
+        self._net = net
+        self._winner = winner
+        self._timing = timing
+        self._start = start_us
+        self._events = sorted(rival_events)
+        self._cursor = 0
+        self._trace_end = rival_end_us
+        self._yielded: dict[str, float] = {}
+        self._jitter = jitter
+        self._rng = rng
+        self.anchor_misses = 0
+
+    # -- ProbeService ----------------------------------------------------
+    @property
+    def mapper_host(self) -> str:
+        return self._winner
+
+    @property
+    def stats(self) -> ProbeStats:
+        return self._inner.stats
+
+    @property
+    def now_us(self) -> float:
+        return self._start[self._winner] + self._inner.stats.elapsed_us
+
+    def yield_times(self) -> dict[str, float]:
+        return dict(self._yielded)
+
+    def _is_active(self, host: str, at_us: float) -> bool:
+        """Is ``host`` actively mapping (and therefore silent) at ``at_us``?"""
+        if host == self._winner:
+            return True
+        start = self._start.get(host)
+        if start is None or at_us < start:
+            return False
+        if host in self._yielded and at_us >= self._yielded[host]:
+            return False
+        if at_us >= start + self._trace_end.get(host, 0.0):
+            return False  # finished its own map; daemon back to passive
+        return True
+
+    def _advance_rivals(self, to_us: float) -> None:
+        """Apply rival-to-rival silencing events up to ``to_us``."""
+        while self._cursor < len(self._events) and self._events[self._cursor][0] <= to_us:
+            t, sender, target = self._events[self._cursor]
+            self._cursor += 1
+            if sender == target or target == self._winner:
+                continue
+            if not self._is_active(sender, t):
+                continue
+            # An active target does not reply, but it does *hear* the probe.
+            if sender > target and self._is_active(target, t):
+                self._yielded[target] = t
+
+    def probe_host(self, turns: Turns) -> str | None:
+        turns = validate_turns(turns)
+        t_send = self.now_us
+        self._advance_rivals(t_send)
+        path = evaluate_route(self._net, self._winner, turns)
+        hit = False
+        responder = None
+        if path.status is PathStatus.DELIVERED:
+            blocked = self._inner.collision.blocked_at(path.traversals)
+            if blocked is None:
+                target = path.delivered_to
+                assert target is not None
+                arrival = t_send + self._timing.wire_time_us(path.hops)
+                if target == self._winner or not self._is_active(target, arrival):
+                    hit = True
+                    responder = target
+                else:
+                    # Busy rival: no answer — but it heard our address.
+                    self.anchor_misses += 1
+                    if self._winner > target:
+                        self._yielded.setdefault(target, arrival)
+        cost = self._jittered(
+            self._timing.probe_response_us(path.hops, path.hops)
+            if hit
+            else self._timing.probe_timeout_us()
+        )
+        self.stats.record(ProbeRecord(ProbeKind.HOST, turns, hit, cost, responder))
+        return responder
+
+    def probe_switch(self, turns: Turns) -> bool:
+        turns = validate_turns(turns)
+        self._advance_rivals(self.now_us)
+        loop = switch_probe_turns(turns)
+        path = evaluate_route(self._net, self._winner, loop)
+        hit = False
+        if path.status is PathStatus.DELIVERED:
+            if self._inner.collision.blocked_at(path.traversals) is None:
+                hit = True
+        cost = self._jittered(
+            self._timing.probe_response_us(path.hops, 0)
+            if hit
+            else self._timing.probe_timeout_us()
+        )
+        self.stats.record(
+            ProbeRecord(ProbeKind.SWITCH, turns, hit, cost, "switch" if hit else None)
+        )
+        return hit
+
+    def _jittered(self, cost: float) -> float:
+        if not self._jitter:
+            return cost
+        return cost * self._rng.uniform(1.0 - self._jitter, 1.0 + self._jitter)
+
+
+# Cache of rival schedules per (network identity, depth): they are
+# deterministic and expensive; election_times reuses them across seeds.
+_SCHEDULE_CACHE: dict[tuple[int, int, int], dict[str, list[tuple[float, str]]]] = {}
+
+
+def election_run(
+    net: Network,
+    *,
+    search_depth: int,
+    participants: list[str] | None = None,
+    collision: CollisionModel | None = None,
+    timing: TimingModel = MYRINET_TIMING,
+    jitter: float = 0.08,
+    start_spread_ms: float = 30.0,
+    rival_probe_cap: int = 600,
+    seed: int = 0,
+) -> ElectionOutcome:
+    """Simulate one election-mode mapping run."""
+    collision = collision or CircuitModel()
+    hosts = sorted(participants if participants is not None else net.hosts)
+    if not hosts:
+        raise ValueError("election needs at least one participant")
+    winner = hosts[-1]
+    rng = random.Random(seed)
+
+    cache_key = (
+        id(net),
+        net.n_wires,
+        tuple(hosts),
+        search_depth,
+        rival_probe_cap,
+    )
+    schedules = _SCHEDULE_CACHE.get(cache_key)
+    if schedules is None:
+        schedules = {
+            h: _rival_schedule(
+                net,
+                h,
+                search_depth=search_depth,
+                collision=collision,
+                timing=timing,
+                cap=rival_probe_cap,
+            )
+            for h in hosts
+            if h != winner
+        }
+        _SCHEDULE_CACHE[cache_key] = schedules
+
+    start_us = {h: rng.uniform(0.0, start_spread_ms * 1000.0) for h in hosts}
+    rival_events: list[tuple[float, str, str]] = []
+    rival_end: dict[str, float] = {}
+    for h, sched in schedules.items():
+        for t_rel, target in sched:
+            rival_events.append((start_us[h] + t_rel, h, target))
+        rival_end[h] = sched[-1][0] if sched else 0.0
+
+    svc = _ElectionProbeService(
+        net,
+        winner,
+        collision=collision,
+        timing=timing,
+        start_us=start_us,
+        rival_events=rival_events,
+        rival_end_us=rival_end,
+        jitter=jitter,
+        rng=rng,
+    )
+    result = BerkeleyMapper(svc, search_depth=search_depth, host_first=False).run()
+    elapsed_us = svc.now_us  # includes the winner's own start delay
+    return ElectionOutcome(
+        winner=winner,
+        elapsed_ms=elapsed_us / 1000.0,
+        map_result=result,
+        yield_times_ms={h: t / 1000.0 for h, t in svc.yield_times().items()},
+        anchor_misses=svc.anchor_misses,
+    )
+
+
+def election_times(
+    net: Network,
+    *,
+    search_depth: int,
+    runs: int = 10,
+    base_seed: int = 0,
+    **kwargs,
+):
+    """min/avg/max election-mode times over seeds (the Figure 7 column)."""
+    from repro.core.parallel import TimingSummary
+
+    times = [
+        election_run(
+            net, search_depth=search_depth, seed=base_seed + i, **kwargs
+        ).elapsed_ms
+        for i in range(runs)
+    ]
+    return TimingSummary(
+        min_ms=min(times),
+        avg_ms=statistics.fmean(times),
+        max_ms=max(times),
+        runs=runs,
+    )

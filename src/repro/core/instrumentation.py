@@ -1,0 +1,102 @@
+"""Probe-trace analysis: the quantities behind Figures 6 and 7.
+
+"Probes that do not generate responses are more expensive than others
+because the message time-out period is longer than the time of an average
+round-trip" — so what determines mapping time is the probe mix. This module
+turns a kept probe trace into the distributions that explain it:
+
+- hits and misses by probe-string length (deep probes miss more: more ways
+  to fall off the network, and replicate exploration grows with depth);
+- cost decomposition into answered time vs timeout time;
+- the running cost curve (for plotting Figure-7-style progress).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.simulator.probes import ProbeKind, ProbeRecord, ProbeStats
+
+__all__ = ["TraceAnalysis", "analyze_trace"]
+
+
+@dataclass(slots=True)
+class TraceAnalysis:
+    """Aggregates over a probe trace."""
+
+    total: int
+    hits: int
+    by_length: dict[int, tuple[int, int]]  # length -> (probes, hits)
+    answered_us: float
+    timeout_us: float
+    host_probes: int
+    switch_probes: int
+    running_cost_us: list[float] = field(repr=False, default_factory=list)
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.total if self.total else 0.0
+
+    @property
+    def timeout_share(self) -> float:
+        """Fraction of total time spent waiting out unanswered probes."""
+        denom = self.answered_us + self.timeout_us
+        return self.timeout_us / denom if denom else 0.0
+
+    def hit_ratio_at(self, length: int) -> float:
+        probes, hits = self.by_length.get(length, (0, 0))
+        return hits / probes if probes else 0.0
+
+    def histogram(self) -> str:
+        """Plain-text per-length histogram (probes, hits, ratio)."""
+        lines = ["len  probes  hits  ratio"]
+        for length in sorted(self.by_length):
+            probes, hits = self.by_length[length]
+            lines.append(
+                f"{length:3d}  {probes:6d}  {hits:4d}  "
+                f"{hits / probes if probes else 0.0:5.0%}"
+            )
+        return "\n".join(lines)
+
+
+def analyze_trace(stats: ProbeStats) -> TraceAnalysis:
+    """Analyze a probe trace; requires the service ran with a trace kept."""
+    if stats.trace is None:
+        raise ValueError(
+            "no trace recorded: construct the probe service with "
+            "keep_trace=True"
+        )
+    by_length: dict[int, list[int]] = {}
+    answered = 0.0
+    timeout = 0.0
+    host_probes = 0
+    switch_probes = 0
+    hits = 0
+    running: list[float] = []
+    acc = 0.0
+    for rec in stats.trace:
+        bucket = by_length.setdefault(len(rec.turns), [0, 0])
+        bucket[0] += 1
+        if rec.hit:
+            bucket[1] += 1
+            hits += 1
+            answered += rec.cost_us
+        else:
+            timeout += rec.cost_us
+        if rec.kind is ProbeKind.HOST:
+            host_probes += 1
+        else:
+            switch_probes += 1
+        acc += rec.cost_us
+        running.append(acc)
+    return TraceAnalysis(
+        total=len(stats.trace),
+        hits=hits,
+        by_length={k: (v[0], v[1]) for k, v in by_length.items()},
+        answered_us=answered,
+        timeout_us=timeout,
+        host_probes=host_probes,
+        switch_probes=switch_probes,
+        running_cost_us=running,
+    )

@@ -1,0 +1,557 @@
+"""The Berkeley mapping algorithm — the production form of Section 3.3.
+
+The simplified algorithm of Section 3.1 (see :mod:`repro.core.labeled`)
+explores fully, then labels, then prunes. The paper then applies three
+modifications that "converge to the actual one":
+
+1. labeling is interleaved with exploration (a deduction made early is never
+   invalidated by later probes);
+2. labels are replaced by *merging vertex objects*, driven by a ``mergelist``
+   of vertices whose neighborhoods changed — "merging two switches may
+   produce new ones to merge";
+3. probe-order heuristics cut the message count
+   (:mod:`repro.core.planner`).
+
+The model graph here is a set of :class:`MergedVertex` objects with
+union-find aliasing. Each vertex keeps a ``nbrs`` mapping from *relative
+port index* (relative to the entry port of the vertex's creation probe
+path) to the set of ``(neighbor, neighbor_index)`` wire-ends seen there.
+The single deduction rule is the paper's: an actual switch port has exactly
+one cable, so two wire-ends recorded at the same index must lead to
+replicates — merge them, shifting the absorbed vertex's indices so the
+shared wire-end aligns (the ``mergeLabels`` re-indexing of Section 3.1.2).
+
+Hosts carry unique names; two host-vertices with one name merge on sight
+(every host has a single network connection, so their parent switches are
+then forced together — the anchor step of Lemma 3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.planner import ProbePlanner
+from repro.simulator.probes import ProbeService, ProbeStats
+from repro.simulator.turns import Turns
+from repro.topology.model import Network
+
+__all__ = ["BerkeleyMapper", "GrowthSample", "MapResult", "MappingError"]
+
+
+class MappingError(RuntimeError):
+    """The deduction engine found a contradiction.
+
+    Under the paper's assumptions (quiescent network, correct responses)
+    this cannot happen: deductions are sound (Lemma 2). A contradiction
+    means the network violates the system model or responses were corrupted.
+    """
+
+
+_KIND_SWITCH = "switch"
+_KIND_HOST = "host"
+
+
+class MergedVertex:
+    """A vertex of the model graph (after modification 2 of Section 3.3)."""
+
+    __slots__ = (
+        "vid",
+        "kind",
+        "host_name",
+        "probe_string",
+        "nbrs",
+        "alias",
+        "explored",
+        "dead",
+    )
+
+    def __init__(
+        self,
+        vid: int,
+        kind: str,
+        probe_string: Turns,
+        host_name: str | None = None,
+    ) -> None:
+        self.vid = vid
+        self.kind = kind
+        self.host_name = host_name
+        self.probe_string = probe_string
+        self.nbrs: dict[int, set[tuple["MergedVertex", int]]] = {}
+        self.alias: "MergedVertex | None" = None
+        self.explored = False
+        self.dead = False
+
+    @property
+    def depth(self) -> int:
+        return len(self.probe_string)
+
+    def degree(self) -> int:
+        """Incident wire-ends (a loopback cable contributes two)."""
+        return sum(len(s) for s in self.nbrs.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = self.host_name if self.kind == _KIND_HOST else f"sw{self.vid}"
+        return f"<MV {tag} depth={self.depth} deg={self.degree()}>"
+
+
+@dataclass(frozen=True, slots=True)
+class GrowthSample:
+    """One Figure 8 sample: model size after a switch exploration."""
+
+    exploration: int
+    n_nodes: int
+    n_edges: int
+    n_frontier: int
+
+
+@dataclass(slots=True)
+class MapResult:
+    """Everything a mapping run produces."""
+
+    network: Network
+    stats: ProbeStats
+    mapper_host: str
+    search_depth: int
+    explorations: int
+    merges: int
+    peak_model_nodes: int
+    growth: list[GrowthSample] = field(default_factory=list)
+    switch_names: dict[int, str] = field(default_factory=dict)
+
+    @property
+    def elapsed_ms(self) -> float:
+        return self.stats.elapsed_ms
+
+
+class BerkeleyMapper:
+    """Drive the production algorithm against a probe service.
+
+    Parameters
+    ----------
+    service:
+        The in-band interface to the network.
+    search_depth:
+        Maximum probe-string length (the paper's ``SearchDepth``; the
+        proven-sufficient value is ``Q + D + 1``, see
+        :func:`repro.topology.analysis.recommended_search_depth`).
+    planner:
+        Probe-order strategy; defaults to the heuristic planner.
+    host_first:
+        Whether the host-probe of each probe pair is sent before the
+        switch-probe (the second test is skipped when the first one
+        identifies the node).
+    record_growth:
+        Keep the per-exploration model-size trace (Figure 8).
+    """
+
+    def __init__(
+        self,
+        service: ProbeService,
+        *,
+        search_depth: int,
+        planner: ProbePlanner | None = None,
+        host_first: bool = True,
+        record_growth: bool = False,
+        radix: int = 8,
+        max_explorations: int | None = None,
+    ) -> None:
+        """``max_explorations`` bounds the number of switch explorations.
+
+        With plentiful host anchors merging keeps the model graph small
+        (Figure 8), but in anchor-poor settings (Figure 9 with few daemons)
+        the unmerged walk tree is exponential in the search depth — the
+        paper's own complexity bound is 2^O(D+Q). A production mapper runs
+        under a resource bound; when the bound trips, exploration stops and
+        the mapper prunes and returns the best map it has (sound, possibly
+        incomplete).
+        """
+        if search_depth < 1:
+            raise ValueError("search_depth must be at least 1")
+        self._svc = service
+        self._depth = search_depth
+        self._planner = planner or ProbePlanner(radix=radix)
+        self._host_first = host_first
+        self._record_growth = record_growth
+        self._radix = radix
+        self._max_explorations = max_explorations
+
+        self._ids = itertools.count()
+        self._vertices: list[MergedVertex] = []
+        self._hosts: dict[str, MergedVertex] = {}
+        self._frontier: deque[MergedVertex] = deque()
+        self._mergelist: deque[MergedVertex] = deque()
+        self._merges = 0
+        self._explorations = 0
+        self._growth: list[GrowthSample] = []
+        self._peak_nodes = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run(self) -> MapResult:
+        """Map the network and return the result."""
+        self._initialize()
+        self._seed_phase()
+        self._main_loop()
+        self._prune()
+        self._snapshot(final=True)
+        network, names = self._build_network()
+        return MapResult(
+            network=network,
+            stats=self._svc.stats.snapshot(),
+            mapper_host=self._svc.mapper_host,
+            search_depth=self._depth,
+            explorations=self._explorations,
+            merges=self._merges,
+            peak_model_nodes=self._peak_nodes,
+            growth=self._growth,
+            switch_names=names,
+        )
+
+    def _seed_phase(self) -> None:
+        """Hook for variants that pre-seed the model graph (Section 6
+        randomized/coupon-collecting extensions). The base mapper does
+        nothing here."""
+
+    def _main_loop(self) -> None:
+        while self._frontier:
+            if (
+                self._max_explorations is not None
+                and self._explorations >= self._max_explorations
+            ):
+                break
+            v = self._find(self._frontier.popleft())
+            if v.dead or v.explored or v.kind != _KIND_SWITCH:
+                continue
+            if v.depth >= self._depth:
+                continue
+            self._explore(v)
+            v.explored = True
+            self._explorations += 1
+            self._drain_mergelist()
+            self._snapshot()
+
+    # ------------------------------------------------------------------
+    # initialization & exploration
+    # ------------------------------------------------------------------
+    def _initialize(self) -> None:
+        # "The model graph M is initialized with two vertices: the root
+        # host-vertex h0 ... and its adjacent switch-vertex." The system
+        # model guarantees the mapper host hangs off a switch.
+        h0 = self._new_vertex(_KIND_HOST, (), host_name=self._svc.mapper_host)
+        root = self._new_vertex(_KIND_SWITCH, ())
+        self._hosts[h0.host_name] = h0  # type: ignore[index]
+        self._link(h0, 0, root, 0)
+        self._frontier.append(root)
+
+    def _explore(self, v: MergedVertex) -> None:
+        plan = self._planner.new_plan()
+        # Knowledge inherited from merged replicates: every known index is a
+        # confirmed wire (narrowing the entry-port window), and re-probing it
+        # cannot teach anything — an actual port has exactly one cable.
+        for idx in v.nbrs:
+            plan.feed(idx, True)
+        while (turn := plan.next_turn()) is not None:
+            if v.nbrs.get(turn):
+                continue
+            turns = v.probe_string + (turn,)
+            response = self._probe_pair(turns)
+            plan.feed(turn, response is not None)
+            if response is None:
+                continue
+            if response == _KIND_SWITCH:
+                child = self._new_vertex(_KIND_SWITCH, turns)
+                self._link(v, turn, child, 0)
+                self._frontier.append(child)
+            else:
+                child = self._new_vertex(_KIND_HOST, turns, host_name=response)
+                self._link(v, turn, child, 0)
+                self._register_host(child)
+            # The link may have created a second wire-end at this index of
+            # an already-merged v; deductions queue up and are drained after
+            # the switch is fully explored (modification 1 allows any
+            # interleaving; per-switch draining matches the mergelist text).
+
+    def _probe_pair(self, turns: Turns) -> str | None:
+        """The probe of Section 2.3: R(turns) via the configured order."""
+        if self._host_first:
+            host = self._svc.probe_host(turns)
+            if host is not None:
+                return host
+            return _KIND_SWITCH if self._svc.probe_switch(turns) else None
+        if self._svc.probe_switch(turns):
+            return _KIND_SWITCH
+        return self._svc.probe_host(turns)
+
+    # ------------------------------------------------------------------
+    # the model graph
+    # ------------------------------------------------------------------
+    def _new_vertex(
+        self, kind: str, probe_string: Turns, host_name: str | None = None
+    ) -> MergedVertex:
+        v = MergedVertex(next(self._ids), kind, probe_string, host_name)
+        self._vertices.append(v)
+        return v
+
+    def _find(self, v: MergedVertex) -> MergedVertex:
+        root = v
+        while root.alias is not None:
+            root = root.alias
+        while v.alias is not None:  # path compression
+            v.alias, v = root, v.alias
+        return root
+
+    def _link(self, u: MergedVertex, ui: int, w: MergedVertex, wi: int) -> None:
+        u, w = self._find(u), self._find(w)
+        u.nbrs.setdefault(ui, set()).add((w, wi))
+        w.nbrs.setdefault(wi, set()).add((u, ui))
+        if len(u.nbrs[ui]) > 1:
+            self._mergelist.append(u)
+        if len(w.nbrs[wi]) > 1:
+            self._mergelist.append(w)
+
+    def _register_host(self, child: MergedVertex) -> None:
+        assert child.host_name is not None
+        existing = self._hosts.get(child.host_name)
+        if existing is None:
+            self._hosts[child.host_name] = child
+            return
+        # "When a new host-vertex is created, it is put on mergelist":
+        # identical names force a merge (hosts are uniquely identified).
+        self._merge(self._find(existing), self._find(child), 0)
+
+    # ------------------------------------------------------------------
+    # merging (the deduction engine)
+    # ------------------------------------------------------------------
+    def _merge(self, keep: MergedVertex, absorb: MergedVertex, shift: int) -> None:
+        """Merge ``absorb`` into ``keep``; absorb's index i becomes i+shift."""
+        keep, absorb = self._find(keep), self._find(absorb)
+        if keep is absorb:
+            if shift != 0:
+                raise MappingError(
+                    f"vertex {keep!r} would merge with itself under a nonzero "
+                    f"port shift ({shift}); the network violates the system model"
+                )
+            return
+        if keep.kind != absorb.kind:
+            raise MappingError(
+                f"cannot merge a {keep.kind} with a {absorb.kind}; "
+                "responses are inconsistent with the system model"
+            )
+        if keep.kind == _KIND_HOST:
+            if keep.host_name != absorb.host_name:
+                raise MappingError(
+                    f"hosts {keep.host_name} and {absorb.host_name} forced together"
+                )
+            if shift != 0:
+                raise MappingError(
+                    f"host {keep.host_name} merged under a nonzero port shift"
+                )
+        # Keep an explored representative when possible so frontier entries
+        # pointing at the absorbed twin are skipped rather than re-probed.
+        if absorb.explored and not keep.explored:
+            keep, absorb, shift = absorb, keep, -shift
+
+        # Detach absorb's adjacency, rewrite endpoint references, reattach.
+        moved = list(absorb.nbrs.items())
+        absorb.nbrs = {}
+        for i, ends in moved:
+            new_i = i + shift
+            # Deterministic order: set iteration follows id()-based hashes,
+            # which vary run to run; merge order must not.
+            for (w, wi) in sorted(ends, key=lambda e: (e[0].vid, e[1])):
+                w = self._find(w)
+                if w is absorb:
+                    # Loopback wire inside the absorbed vertex; its far end
+                    # moves too (it is in `moved`, handled when reached).
+                    w = keep
+                    wi = wi + shift
+                else:
+                    # Remove the back-reference to absorb.
+                    back = w.nbrs.get(wi)
+                    if back is not None:
+                        back.discard((absorb, i))
+                        if not back:
+                            del w.nbrs[wi]
+                if w is keep and wi == new_i:
+                    # A wire from absorb to keep at what is now the same
+                    # wire-end on both sides cannot exist physically.
+                    raise MappingError(
+                        "merge would create a wire from a port to itself"
+                    )
+                keep.nbrs.setdefault(new_i, set()).add((w, wi))
+                w.nbrs.setdefault(wi, set()).add((keep, new_i))
+                if len(keep.nbrs[new_i]) > 1:
+                    self._mergelist.append(keep)
+                if len(w.nbrs[wi]) > 1:
+                    self._mergelist.append(w)
+
+        absorb.alias = keep
+        absorb.dead = True
+        keep.explored = keep.explored or absorb.explored
+        if keep.kind == _KIND_HOST:
+            self._hosts[keep.host_name] = keep  # type: ignore[index]
+        self._merges += 1
+        self._mergelist.append(keep)
+
+    def _drain_mergelist(self) -> None:
+        """Apply the deduction rule until stable (Section 3.3 item 2)."""
+        while self._mergelist:
+            v = self._find(self._mergelist.popleft())
+            if v.dead:
+                continue
+            self._deduce_at(v)
+
+    def _deduce_at(self, v: MergedVertex) -> None:
+        """Collapse any index of ``v`` holding more than one wire-end."""
+        progressed = True
+        while progressed:
+            progressed = False
+            v = self._find(v)
+            if v.dead:
+                return
+            for i in list(v.nbrs):
+                ends = v.nbrs.get(i)
+                if not ends or len(ends) < 2:
+                    continue
+                ordered = sorted(ends, key=lambda e: (e[0].vid, e[1]))
+                (w1, wi1) = ordered[0]
+                (w2, wi2) = ordered[1]
+                w1, w2 = self._find(w1), self._find(w2)
+                if w1 is w2:
+                    if wi1 == wi2:
+                        continue  # duplicates collapse via set semantics
+                    raise MappingError(
+                        f"port index {i} of {v!r} is wired to two different "
+                        f"ports of the same node; violates the system model"
+                    )
+                # Two wire-ends on one actual port: replicates. Align the
+                # indices of the shared wire-end (Section 3.1.2 re-indexing).
+                self._merge(w1, w2, wi1 - wi2)
+                progressed = True
+                break
+
+    # ------------------------------------------------------------------
+    # pruning and output
+    # ------------------------------------------------------------------
+    def _live_vertices(self) -> list[MergedVertex]:
+        return [v for v in self._vertices if not v.dead and v.alias is None]
+
+    def _prune(self) -> None:
+        """Repeatedly delete degree-<=1 switches (the PRUNE stage).
+
+        Removes F-region probe trees and unexplored frontier stubs; core
+        switches always have degree >= 2 (a degree-1 switch cannot lie on
+        any non-edge-repeating path between hosts).
+        """
+        changed = True
+        while changed:
+            changed = False
+            for v in self._live_vertices():
+                if v.kind != _KIND_SWITCH:
+                    continue
+                if v.degree() <= 1:
+                    self._delete(v)
+                    changed = True
+
+    def _delete(self, v: MergedVertex) -> None:
+        for i, ends in list(v.nbrs.items()):
+            for (w, wi) in ends:
+                w = self._find(w)
+                if w is v:
+                    continue
+                back = w.nbrs.get(wi)
+                if back is not None:
+                    back.discard((v, i))
+                    if not back:
+                        del w.nbrs[wi]
+        v.nbrs = {}
+        v.dead = True
+
+    def _build_network(self) -> tuple[Network, dict[int, str]]:
+        """Convert the merged model graph into a :class:`Network`.
+
+        Switch port numbers are the relative indices shifted so the minimum
+        used index is 0 — the canonical representative of the
+        per-switch-offset equivalence class the mapper can determine.
+        """
+        live = sorted(self._live_vertices(), key=lambda v: v.vid)
+        net = Network(default_radix=self._radix)
+        names: dict[int, str] = {}
+        offsets: dict[int, int] = {}
+        counter = 0
+        for v in live:
+            if v.kind == _KIND_HOST:
+                if v.host_name in net:
+                    raise MappingError(
+                        f"two model vertices for host {v.host_name} survived"
+                    )
+                net.add_host(v.host_name)  # type: ignore[arg-type]
+            else:
+                name = f"switch-{counter}"
+                counter += 1
+                names[v.vid] = name
+                indices = sorted(v.nbrs)
+                if indices:
+                    span = indices[-1] - indices[0]
+                    if span >= self._radix:
+                        raise MappingError(
+                            f"switch {name} uses a port span of {span + 1} > "
+                            f"radix {self._radix}"
+                        )
+                    offsets[v.vid] = -indices[0]
+                else:
+                    offsets[v.vid] = 0
+                net.add_switch(name, radix=self._radix)
+
+        def endpoint(v: MergedVertex, i: int) -> tuple[str, int]:
+            if v.kind == _KIND_HOST:
+                return (v.host_name, 0)  # type: ignore[return-value]
+            return (names[v.vid], i + offsets[v.vid])
+
+        seen: set[frozenset] = set()
+        for v in live:
+            for i, ends in v.nbrs.items():
+                if len(ends) > 1:
+                    raise MappingError(
+                        f"unresolved multi-wire port survived on {v!r}; "
+                        "increase the search depth"
+                    )
+                for (w, wi) in ends:
+                    w = self._find(w)
+                    a = endpoint(v, i)
+                    b = endpoint(w, wi)
+                    key = frozenset((a, b))
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    net.connect(a[0], a[1], b[0], b[1])
+        return net, names
+
+    # ------------------------------------------------------------------
+    # instrumentation (Figure 8)
+    # ------------------------------------------------------------------
+    def _snapshot(self, final: bool = False) -> None:
+        live = self._live_vertices()
+        n_nodes = len(live)
+        self._peak_nodes = max(self._peak_nodes, n_nodes)
+        if not self._record_growth:
+            return
+        n_edges = sum(v.degree() for v in live) // 2
+        n_frontier = 0
+        pending: set[int] = set()
+        for entry in self._frontier:
+            rep = self._find(entry)
+            if not rep.dead and not rep.explored and rep.vid not in pending:
+                pending.add(rep.vid)
+                n_frontier += 1
+        self._growth.append(
+            GrowthSample(
+                exploration=self._explorations,
+                n_nodes=n_nodes,
+                n_edges=n_edges,
+                n_frontier=n_frontier,
+            )
+        )

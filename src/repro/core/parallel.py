@@ -1,0 +1,113 @@
+"""Master/slave mapping runs: the driver for Figures 7 and 9.
+
+In master/slave mode one distinguished host actively maps while every other
+host with a daemon passively echoes probes. Mapping time then depends on
+
+- the probe count (algorithmic), and
+- the mix of answered probes vs. timeouts — which is where Figure 9's
+  speedup comes from: a host-probe to a daemon-less host costs the full
+  timeout instead of a round-trip, and with few daemons the model graph also
+  accumulates fewer host anchors, so merging resolves later and exploration
+  sends more probes overall.
+
+:func:`timed_run` performs one run and returns the result plus elapsed
+simulated milliseconds; :func:`repeated_times` gives the min/avg/max summary
+the paper's Figure 7 reports.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.core.mapper import BerkeleyMapper, MapResult
+from repro.core.planner import ProbePlanner
+from repro.simulator.daemons import DaemonPlacement
+from repro.simulator.collision import CircuitModel, CollisionModel
+from repro.simulator.quiescent import QuiescentProbeService
+from repro.simulator.timing import MYRINET_TIMING, TimingModel
+from repro.topology.model import Network
+
+__all__ = ["TimingSummary", "repeated_times", "timed_run"]
+
+
+@dataclass(frozen=True, slots=True)
+class TimingSummary:
+    """min / avg / max over repeated runs, in milliseconds (Figure 7 rows)."""
+
+    min_ms: float
+    avg_ms: float
+    max_ms: float
+    runs: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.min_ms:.0f} / {self.avg_ms:.0f} / {self.max_ms:.0f} ms"
+
+
+def timed_run(
+    net: Network,
+    mapper_host: str,
+    *,
+    search_depth: int,
+    placement: DaemonPlacement | None = None,
+    collision: CollisionModel | None = None,
+    timing: TimingModel = MYRINET_TIMING,
+    planner: ProbePlanner | None = None,
+    host_first: bool = False,
+    jitter: float = 0.0,
+    seed: int = 0,
+    record_growth: bool = False,
+    max_explorations: int | None = None,
+) -> MapResult:
+    """One master/slave mapping run; elapsed time is in ``result.stats``."""
+    responders = None
+    if placement is not None:
+        responders = frozenset(placement.including(mapper_host).responders)
+    svc = QuiescentProbeService(
+        net,
+        mapper_host,
+        collision=collision or CircuitModel(),
+        timing=timing,
+        responders=responders,
+        jitter=jitter,
+        seed=seed,
+    )
+    mapper = BerkeleyMapper(
+        svc,
+        search_depth=search_depth,
+        planner=planner,
+        host_first=host_first,
+        record_growth=record_growth,
+        max_explorations=max_explorations,
+    )
+    return mapper.run()
+
+
+def repeated_times(
+    net: Network,
+    mapper_host: str,
+    *,
+    search_depth: int,
+    runs: int = 10,
+    jitter: float = 0.08,
+    base_seed: int = 0,
+    **kwargs,
+) -> TimingSummary:
+    """min/avg/max mapping time over ``runs`` jittered runs (Figure 7)."""
+    times = [
+        timed_run(
+            net,
+            mapper_host,
+            search_depth=search_depth,
+            jitter=jitter,
+            seed=base_seed + i,
+            **kwargs,
+        ).stats.elapsed_ms
+        for i in range(runs)
+    ]
+    return TimingSummary(
+        min_ms=min(times),
+        avg_ms=statistics.fmean(times),
+        max_ms=max(times),
+        runs=runs,
+    )

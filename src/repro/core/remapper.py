@@ -1,0 +1,159 @@
+"""The periodic remapping daemon: the system behavior of the abstract.
+
+"The system periodically discovers the network topology and uses it to
+compute and to distribute a set of mutually deadlock-free routes to all
+network interfaces."
+
+:class:`RemapperDaemon` packages one complete cycle — map, diff against the
+previous map, and (only when something changed) recompute + verify +
+distribute routes — and keeps a history of cycles so operators can see what
+changed when. The daemon is driven explicitly (``run_cycle()``) so tests
+and simulations control time; a deployment would call it on a timer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.mapper import BerkeleyMapper, MapResult
+from repro.routing.compile_routes import RouteTable, compile_route_tables
+from repro.routing.deadlock import routes_deadlock_free
+from repro.routing.distribute import DistributionReport
+from repro.routing.incremental import distribute_incremental
+from repro.routing.paths import all_pairs_updown_paths
+from repro.routing.updown import orient_updown
+from repro.simulator.collision import CircuitModel, CollisionModel
+from repro.simulator.quiescent import QuiescentProbeService
+from repro.simulator.timing import MYRINET_TIMING, TimingModel
+from repro.topology.analysis import recommended_search_depth
+from repro.topology.diff import MapDiff, diff_networks
+from repro.topology.model import Network
+
+__all__ = ["RemapCycle", "RemapperDaemon"]
+
+
+@dataclass(slots=True)
+class RemapCycle:
+    """Record of one map/diff/route cycle."""
+
+    index: int
+    map_result: MapResult
+    diff: MapDiff
+    routes_recomputed: bool
+    deadlock_free: bool | None
+    n_routes: int
+    distribution: DistributionReport | None
+    elapsed_ms: float
+
+    @property
+    def changed(self) -> bool:
+        return not self.diff.identical
+
+
+class RemapperDaemon:
+    """Drive periodic remapping against a (possibly mutating) network.
+
+    The daemon holds a reference to the *actual* network object purely as
+    the thing to probe — all knowledge flows through the probe service it
+    constructs each cycle, so topology mutations between cycles are
+    discovered in-band like the real system would.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        mapper_host: str,
+        *,
+        collision: CollisionModel | None = None,
+        timing: TimingModel = MYRINET_TIMING,
+        search_depth: int | None = None,
+        max_explorations: int | None = 5000,
+    ) -> None:
+        self._net = net
+        self._mapper_host = mapper_host
+        self._collision = collision or CircuitModel()
+        self._timing = timing
+        self._fixed_depth = search_depth
+        self._max_explorations = max_explorations
+        self.history: list[RemapCycle] = []
+        self.current_map: Network | None = None
+        self.current_tables: dict[str, RouteTable] | None = None
+
+    # ------------------------------------------------------------------
+    def run_cycle(self) -> RemapCycle:
+        """One complete cycle; appends to and returns from ``history``."""
+        depth = self._fixed_depth or recommended_search_depth(
+            self._net, self._mapper_host
+        )
+        svc = QuiescentProbeService(
+            self._net,
+            self._mapper_host,
+            collision=self._collision,
+            timing=self._timing,
+        )
+        result = BerkeleyMapper(
+            svc,
+            search_depth=depth,
+            host_first=False,
+            max_explorations=self._max_explorations,
+        ).run()
+        new_map = result.network
+
+        if self.current_map is None:
+            diff = MapDiff(identical=False)
+        else:
+            diff = diff_networks(self.current_map, new_map)
+
+        elapsed = result.stats.elapsed_ms
+        if diff.identical and self.current_tables is not None:
+            cycle = RemapCycle(
+                index=len(self.history),
+                map_result=result,
+                diff=diff,
+                routes_recomputed=False,
+                deadlock_free=None,
+                n_routes=sum(len(t) for t in self.current_tables.values()),
+                distribution=None,
+                elapsed_ms=elapsed,
+            )
+            self.history.append(cycle)
+            return cycle
+
+        orientation = orient_updown(new_map)
+        paths = all_pairs_updown_paths(new_map, orientation)
+        tables = compile_route_tables(new_map, paths, orientation=orientation)
+        safe = routes_deadlock_free(tables)
+        # Incremental distribution: push only per-host deltas against the
+        # previous generation (the first cycle degenerates to a full push).
+        report = distribute_incremental(
+            new_map,
+            self._mapper_host,
+            tables,
+            self.current_tables,
+            timing=self._timing,
+        )
+        self.current_map = new_map
+        self.current_tables = tables
+        cycle = RemapCycle(
+            index=len(self.history),
+            map_result=result,
+            diff=diff,
+            routes_recomputed=True,
+            deadlock_free=safe,
+            n_routes=sum(len(t) for t in tables.values()),
+            distribution=report,
+            elapsed_ms=elapsed + report.elapsed_ms,
+        )
+        self.history.append(cycle)
+        return cycle
+
+    # ------------------------------------------------------------------
+    def route(self, src: str, dst: str):
+        """The current source route between two hosts, or None."""
+        if self.current_tables is None:
+            return None
+        table = self.current_tables.get(src)
+        if table is None:
+            return None
+        compiled = table.routes.get(dst)
+        return compiled.turns if compiled else None

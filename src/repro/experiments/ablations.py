@@ -1,0 +1,150 @@
+"""Ablation studies for the design choices the paper calls out.
+
+1. **Probe-order heuristics** (Section 3.3 item 3): the paper suspects "the
+   total number of messages can be reduced by factors of 2 or more based
+   upon our experience with cleverly choosing the sequence that switch
+   ports are probed". Compare the heuristic planner (alternating order +
+   entry-window pruning) against the naive fixed sweep.
+2. **Collision model** (Section 2.3.1): circuit vs cut-through routing —
+   cut-through lets some self-reusing probes through ("some probes may
+   succeed where previously they failed due to self-deadlock"), changing
+   probe success rates and the model graph size.
+3. **Probe-pair order**: host-probe-first vs switch-probe-first.
+4. **Coupon-collecting seeding** (Section 6): random maximal-depth probes
+   before BFS, vs the plain mapper.
+5. **Self-identifying switches** (Section 6): the hardware-assisted lower
+   bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.selfid import SelfIdMapper, SelfIdProbeService
+from repro.core.mapper import BerkeleyMapper
+from repro.core.planner import ProbePlanner
+from repro.experiments.common import system
+from repro.experiments.tables import print_table
+from repro.extensions.randomized import CouponMapper
+from repro.simulator.collision import CircuitModel, CutThroughModel
+from repro.simulator.quiescent import QuiescentProbeService
+from repro.topology.isomorphism import match_networks
+
+__all__ = ["AblationRow", "run", "main"]
+
+
+@dataclass(frozen=True, slots=True)
+class AblationRow:
+    variant: str
+    probes: int
+    elapsed_ms: float
+    explorations: int
+    peak_model_nodes: int
+    correct: bool
+
+
+def run(name: str = "C+A+B") -> list[AblationRow]:
+    fixture = system(name)
+    rows: list[AblationRow] = []
+
+    def record(variant: str, result, correct: bool | None = None) -> None:
+        net = result.network
+        rows.append(
+            AblationRow(
+                variant=variant,
+                probes=result.stats.total_probes,
+                elapsed_ms=result.stats.elapsed_ms,
+                explorations=getattr(result, "explorations", 0),
+                peak_model_nodes=getattr(result, "peak_model_nodes", 0),
+                correct=(
+                    bool(match_networks(net, fixture.core))
+                    if correct is None
+                    else correct
+                ),
+            )
+        )
+
+    # 1. planner heuristics on/off
+    for heuristic, label in ((True, "planner: heuristic"), (False, "planner: naive")):
+        svc = QuiescentProbeService(fixture.net, fixture.mapper_host)
+        record(
+            label,
+            BerkeleyMapper(
+                svc,
+                search_depth=fixture.search_depth,
+                host_first=False,
+                planner=ProbePlanner(heuristic=heuristic),
+            ).run(),
+        )
+
+    # 2. collision models
+    for collision, label in (
+        (CircuitModel(), "collision: circuit"),
+        (CutThroughModel(slack_hops=1), "collision: cut-through slack=1"),
+        (CutThroughModel(slack_hops=3), "collision: cut-through slack=3"),
+    ):
+        svc = QuiescentProbeService(
+            fixture.net, fixture.mapper_host, collision=collision
+        )
+        record(
+            label,
+            BerkeleyMapper(
+                svc, search_depth=fixture.search_depth, host_first=False
+            ).run(),
+        )
+
+    # 3. probe-pair order
+    for host_first, label in ((True, "pair order: host first"), (False, "pair order: switch first")):
+        svc = QuiescentProbeService(fixture.net, fixture.mapper_host)
+        record(
+            label,
+            BerkeleyMapper(
+                svc, search_depth=fixture.search_depth, host_first=host_first
+            ).run(),
+        )
+
+    # 4. coupon-collecting seeding (with the Section 6 firmware change:
+    # hosts answer probes that hit them mid-string)
+    from repro.extensions.randomized import EarlyHostProbeService
+
+    for n in (0, 30, 100):
+        svc = EarlyHostProbeService(fixture.net, fixture.mapper_host)
+        mapper = CouponMapper(
+            svc,
+            search_depth=fixture.search_depth,
+            host_first=False,
+            coupon_probes=n,
+            coupon_seed=7,
+        )
+        record(f"coupon seeding: {n} probes", mapper.run())
+
+    # 5. self-identifying switches (lower bound)
+    svc = SelfIdProbeService(fixture.net, fixture.mapper_host)
+    record(
+        "self-identifying switches",
+        SelfIdMapper(svc, search_depth=fixture.search_depth).run(),
+    )
+    return rows
+
+
+def main(name: str = "C+A+B") -> None:
+    rows = run(name)
+    print_table(
+        ["variant", "probes", "time (ms)", "explorations", "peak nodes", "correct"],
+        [
+            (
+                r.variant,
+                r.probes,
+                f"{r.elapsed_ms:.0f}",
+                r.explorations or "-",
+                r.peak_model_nodes or "-",
+                "yes" if r.correct else "NO",
+            )
+            for r in rows
+        ],
+        title=f"Ablations on {name}",
+    )
+
+
+if __name__ == "__main__":
+    main()

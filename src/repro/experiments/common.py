@@ -1,0 +1,101 @@
+"""Shared fixtures for the experiment harness.
+
+Centralizes the three measured system configurations (C, C+A, C+A+B), the
+mapper host (the paper uses the dedicated utility machine: "This machine
+runs the active mapper process in the master/slave mode of operation"), the
+proven search depths, and the paper's published numbers for side-by-side
+reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.topology.analysis import core_decomposition, core_network
+from repro.topology.generators import build_subcluster, combine_subclusters
+from repro.topology.model import Network
+
+__all__ = [
+    "MAPPER_HOST",
+    "PAPER",
+    "SYSTEMS",
+    "SystemFixture",
+    "system",
+]
+
+#: The dedicated utility machine of subcluster C runs the active mapper.
+MAPPER_HOST = "C-svc"
+
+#: The measured configurations, in the paper's order.
+SYSTEMS = ("C", "C+A", "C+A+B")
+
+
+@dataclass(frozen=True, slots=True)
+class PaperNumbers:
+    """Published values from the paper's evaluation section."""
+
+    # Figure 3 (interfaces, switches, links) per standalone subcluster.
+    fig3 = {"A": (34, 13, 64), "B": (30, 14, 65), "C": (36, 13, 64)}
+    # Figure 6: host probes, host hits %, switch probes, switch hits %.
+    fig6 = {
+        "C": (200, 107, 53, 250, 157, 62),
+        "C+A": (412, 216, 52, 491, 295, 60),
+        "C+A+B": (804, 324, 40, 1207, 727, 60),
+    }
+    # Figure 7: (min, avg, max) ms for master and election modes.
+    fig7_master = {"C": (248, 256, 265), "C+A": (499, 522, 555), "C+A+B": (981, 1011, 1208)}
+    fig7_election = {"C": (277, 278, 282), "C+A": (569, 577, 587), "C+A+B": (1065, 1298, 3332)}
+    # Figure 8 headline numbers for C+A+B.
+    fig8_peak_model_nodes = 750
+    fig8_actual_nodes = 140
+    # Figure 9 headline: ~8x speedup from 1 to 100 responders.
+    fig9_speedup = 8.0
+    # Figure 10: loop, host, switch, compare, total, time_ms.
+    fig10 = {
+        "C": (134, 713, 152, 450, 1449, 1414),
+        "C+A": (283, 1484, 329, 1234, 3330, 2197),
+        "C+A+B": (424, 2293, 611, 5089, 8413, 4009),
+    }
+    # Section 5.4 ratios Myricom/Berkeley: messages and time per system.
+    fig10_msg_ratio = {"C": 3.2, "C+A": 3.6, "C+A+B": 5.4}
+    fig10_time_ratio = {"C": 5.5, "C+A": 3.9, "C+A+B": 3.9}
+
+
+PAPER = PaperNumbers()
+
+
+@dataclass(frozen=True)
+class SystemFixture:
+    """A measured configuration plus everything the experiments reuse."""
+
+    name: str
+    net: Network
+    core: Network
+    mapper_host: str
+    search_depth: int
+    diameter: int
+    q: int
+
+
+@lru_cache(maxsize=None)
+def system(name: str) -> SystemFixture:
+    """Build (and cache) one of the measured configurations."""
+    if name == "C":
+        net = build_subcluster("C")
+    elif name == "C+A":
+        net = combine_subclusters("C", "A")
+    elif name == "C+A+B":
+        net = combine_subclusters("C", "A", "B")
+    else:
+        raise ValueError(f"unknown system {name!r}; expected one of {SYSTEMS}")
+    decomp = core_decomposition(net, MAPPER_HOST)
+    return SystemFixture(
+        name=name,
+        net=net,
+        core=core_network(net),
+        mapper_host=MAPPER_HOST,
+        search_depth=decomp.search_depth,
+        diameter=decomp.diameter,
+        q=decomp.q,
+    )

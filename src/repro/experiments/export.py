@@ -1,0 +1,70 @@
+"""CSV export of experiment data, for plotting Figures 8 and 9 (and any
+other row-structured experiment output).
+
+The harness prints tables; anyone regenerating the paper's *graphs*
+(Figures 8 and 9 are line plots) needs the raw series. ``export_csv``
+writes any list of dataclass rows; ``export_figure_data`` knows the two
+plot-shaped experiments and writes ready-to-plot files.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = ["export_csv", "export_figure_data"]
+
+
+def export_csv(rows: Sequence[object], path: str | Path) -> Path:
+    """Write a list of dataclass instances (or dicts) as CSV.
+
+    Non-scalar fields are rendered with ``str``; column order follows the
+    dataclass field order (or sorted keys for dicts).
+    """
+    path = Path(path)
+    if not rows:
+        path.write_text("")
+        return path
+    first = rows[0]
+    if dataclasses.is_dataclass(first):
+        fields = [f.name for f in dataclasses.fields(first)]
+        dict_rows = [
+            {name: getattr(row, name) for name in fields} for row in rows
+        ]
+    elif isinstance(first, dict):
+        fields = sorted(first)
+        dict_rows = list(rows)  # type: ignore[arg-type]
+    else:
+        raise TypeError("rows must be dataclasses or dicts")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fields)
+        writer.writeheader()
+        for row in dict_rows:
+            writer.writerow({k: _cell(v) for k, v in row.items()})
+    return path
+
+
+def _cell(value: object) -> object:
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def export_figure_data(out_dir: str | Path) -> list[Path]:
+    """Write the plot-shaped experiment series (Figures 8, 9) as CSV."""
+    from repro.experiments import fig8_model_growth, fig9_responders
+
+    out_dir = Path(out_dir)
+    written: list[Path] = []
+
+    growth = fig8_model_growth.run("C+A+B")
+    written.append(export_csv(growth.samples, out_dir / "fig8_growth.csv"))
+
+    points = fig9_responders.run(
+        "C+A+B", counts=(1, 5, 10, 15, 20, 30, 40, 50, 70, 100)
+    )
+    written.append(export_csv(points, out_dir / "fig9_responders.csv"))
+    return written

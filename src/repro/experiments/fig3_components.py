@@ -1,0 +1,75 @@
+"""Figure 3 — A, B, and C subcluster components.
+
+"Rows account for network interfaces, switches, and links in each
+configuration. Each host has one network interface."
+
+The generator enforces these counts at construction time; this experiment
+re-derives them from the built networks and prints them against the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import PAPER
+from repro.experiments.tables import print_table
+from repro.topology.generators import build_full_now, build_subcluster
+
+__all__ = ["ComponentsRow", "run", "main"]
+
+
+@dataclass(frozen=True, slots=True)
+class ComponentsRow:
+    subcluster: str
+    interfaces: int
+    switches: int
+    links: int
+    paper: tuple[int, int, int]
+
+    @property
+    def matches_paper(self) -> bool:
+        return (self.interfaces, self.switches, self.links) == self.paper
+
+
+def run() -> list[ComponentsRow]:
+    rows = []
+    for name in ("A", "B", "C"):
+        net = build_subcluster(name)
+        rows.append(
+            ComponentsRow(
+                subcluster=name,
+                interfaces=net.n_hosts,
+                switches=net.n_switches,
+                links=net.n_wires,
+                paper=PAPER.fig3[name],
+            )
+        )
+    return rows
+
+
+def main() -> None:
+    rows = run()
+    print_table(
+        ["Subcluster", "# interfaces", "# switches", "# links", "paper", "match"],
+        [
+            (
+                r.subcluster,
+                r.interfaces,
+                r.switches,
+                r.links,
+                "/".join(map(str, r.paper)),
+                "yes" if r.matches_paper else "NO",
+            )
+            for r in rows
+        ],
+        title="Figure 3: A, B, and C subcluster components",
+    )
+    full = build_full_now()
+    print(
+        f"Full system (abstract): {full.n_hosts} nodes, {full.n_switches} "
+        f"switches, {full.n_wires} links (paper: 100, 40, 193)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Figure 4 — the automatically generated map of the C subcluster.
+
+"This 35-node cluster is typical of the three subclusters of the system.
+The single host at the bottom is a machine dedicated to running system
+services." The paper's figure is a drawing of the mapper's output; here the
+mapper runs for real, the produced map is verified isomorphic to the actual
+core, and both an ASCII rendering and Graphviz source are emitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.mapper import BerkeleyMapper, MapResult
+from repro.experiments.common import system
+from repro.simulator.quiescent import QuiescentProbeService
+from repro.topology.isomorphism import IsomorphismReport, match_networks
+from repro.topology.render import to_ascii, to_dot
+
+__all__ = ["MapExperiment", "run", "main"]
+
+
+@dataclass(slots=True)
+class MapExperiment:
+    system: str
+    result: MapResult
+    verification: IsomorphismReport
+    ascii_map: str
+    dot_source: str
+
+
+def run(name: str = "C") -> MapExperiment:
+    fixture = system(name)
+    svc = QuiescentProbeService(fixture.net, fixture.mapper_host)
+    result = BerkeleyMapper(
+        svc, search_depth=fixture.search_depth, host_first=False
+    ).run()
+    verification = match_networks(result.network, fixture.core)
+    return MapExperiment(
+        system=name,
+        result=result,
+        verification=verification,
+        ascii_map=to_ascii(result.network, title=f"map of {name}"),
+        dot_source=to_dot(result.network, title=f"san-map-{name}"),
+    )
+
+
+def main() -> None:
+    exp = run("C")
+    print(exp.ascii_map)
+    print(
+        f"verification: map isomorphic to actual core = "
+        f"{bool(exp.verification)}"
+        + (f" ({exp.verification.reason})" if exp.verification.reason else "")
+    )
+    print(
+        f"(Graphviz source available from run().dot_source — "
+        f"{len(exp.dot_source.splitlines())} lines)"
+    )
+
+
+if __name__ == "__main__":
+    main()

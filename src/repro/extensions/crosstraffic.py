@@ -1,0 +1,251 @@
+"""Mapping under application cross-traffic (Section 6, first open problem).
+
+"Insisting upon an idle network, especially in a general-purpose and
+multi-programmed system, is at best a stop-gap measure." Section 7 adds:
+"we have some evidence that the algorithm can oftentimes correctly map the
+network even in the face of heavy application cross-traffic." This module
+quantifies that claim:
+
+- :class:`CrossTrafficProbeService` evaluates probes against a fabric
+  pre-filled with Poisson host-pair worms
+  (:class:`~repro.simulator.traffic.CrossTraffic`). A probe whose worm
+  collides with traffic is destroyed by the forward reset — the mapper
+  sees a timeout. Deductions stay *sound* (traffic produces missing
+  answers, never wrong ones), so the failure mode is an incomplete map,
+  not a wrong one — matching why the paper's algorithm "oftentimes" still
+  maps correctly.
+- :class:`RetryingProbeService` layers bounded retry on any probe service
+  (each attempt is counted and charged), the obvious mitigation.
+- :func:`crosstraffic_study` sweeps traffic intensity and reports map
+  completeness vs. cost, with and without retries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.mapper import BerkeleyMapper, MappingError
+from repro.simulator.collision import CircuitModel, CollisionModel
+from repro.simulator.occupancy import ChannelOccupancy
+from repro.simulator.path_eval import PathStatus, evaluate_route
+from repro.simulator.probes import ProbeKind, ProbeRecord, ProbeStats
+from repro.simulator.quiescent import QuiescentProbeService
+from repro.simulator.timing import MYRINET_TIMING, TimingModel
+from repro.simulator.traffic import CrossTraffic
+from repro.simulator.turns import Turns, switch_probe_turns, validate_turns
+from repro.topology.analysis import core_network
+from repro.topology.isomorphism import match_networks
+from repro.topology.model import Network
+
+__all__ = [
+    "CrossTrafficProbeService",
+    "RetryingProbeService",
+    "TrafficPoint",
+    "crosstraffic_study",
+]
+
+
+class CrossTrafficProbeService(QuiescentProbeService):
+    """Probe service with background worms contending for channels.
+
+    The fabric is pre-filled with cross-traffic over a time horizon; each
+    probe is placed at the service's running clock. Mapper worms do not
+    reserve channels against each other (the mapper is sequential), only
+    against the traffic.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        mapper: str,
+        *,
+        rate_msgs_per_ms: float,
+        message_bytes: int = 4096,
+        collision: CollisionModel | None = None,
+        timing: TimingModel = MYRINET_TIMING,
+        traffic_seed: int = 0,
+        **kwargs,
+    ) -> None:
+        super().__init__(
+            net,
+            mapper,
+            collision=collision or CircuitModel(),
+            timing=timing,
+            **kwargs,
+        )
+        self.occupancy = ChannelOccupancy(timing)
+        self.traffic = CrossTraffic(
+            net,
+            self.occupancy,
+            timing,
+            rate_msgs_per_ms=rate_msgs_per_ms,
+            message_bytes=message_bytes,
+            seed=traffic_seed,
+            exclude_hosts=frozenset({mapper}),
+        )
+        self.probes_lost_to_traffic = 0
+
+    def _traffic_blocks(self, path) -> bool:
+        now = self._stats.elapsed_us
+        # Lazily generate traffic slightly past the current clock so the
+        # probe contends with everything in flight around it.
+        self.traffic.fill_until(now + 10_000.0)
+        placement = self.occupancy.try_place(path, now, record_blocked=False)
+        if not placement.ok:
+            self.probes_lost_to_traffic += 1
+            return True
+        return False
+
+    def probe_host(self, turns: Turns) -> str | None:
+        turns = validate_turns(turns)
+        path = evaluate_route(self.net, self.mapper, turns)
+        hit = False
+        responder = None
+        if (
+            path.status is PathStatus.DELIVERED
+            and self.collision.blocked_at(path.traversals) is None
+            and not self.faults.kills_probe(path)
+            and not self._traffic_blocks(path)
+        ):
+            target = path.delivered_to
+            assert target is not None
+            if self._responds(target):
+                hit = True
+                responder = target
+        cost = self._jittered(
+            self.timing.probe_response_us(path.hops, path.hops)
+            if hit
+            else self.timing.probe_timeout_us()
+        )
+        self._stats.record(ProbeRecord(ProbeKind.HOST, turns, hit, cost, responder))
+        return responder
+
+    def probe_switch(self, turns: Turns) -> bool:
+        turns = validate_turns(turns)
+        loop = switch_probe_turns(turns)
+        path = evaluate_route(self.net, self.mapper, loop)
+        hit = (
+            path.status is PathStatus.DELIVERED
+            and self.collision.blocked_at(path.traversals) is None
+            and not self.faults.kills_probe(path)
+            and not self._traffic_blocks(path)
+        )
+        cost = self._jittered(
+            self.timing.probe_response_us(path.hops, 0)
+            if hit
+            else self.timing.probe_timeout_us()
+        )
+        self._stats.record(
+            ProbeRecord(ProbeKind.SWITCH, turns, hit, cost, "switch" if hit else None)
+        )
+        return hit
+
+
+class RetryingProbeService:
+    """Bounded retry on top of any probe service (all attempts charged)."""
+
+    def __init__(self, inner, *, retries: int = 2) -> None:
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        self._inner = inner
+        self._retries = retries
+
+    @property
+    def mapper_host(self) -> str:
+        return self._inner.mapper_host
+
+    @property
+    def stats(self) -> ProbeStats:
+        return self._inner.stats
+
+    def probe_host(self, turns):
+        for _ in range(self._retries + 1):
+            got = self._inner.probe_host(turns)
+            if got is not None:
+                return got
+        return None
+
+    def probe_switch(self, turns):
+        for _ in range(self._retries + 1):
+            if self._inner.probe_switch(turns):
+                return True
+        return False
+
+
+@dataclass(slots=True)
+class TrafficPoint:
+    """One sweep point of the cross-traffic study."""
+
+    rate_msgs_per_ms: float
+    retries: int
+    correct: bool
+    hosts_found: int
+    hosts_total: int
+    switches_found: int
+    switches_total: int
+    wires_found: int
+    wires_total: int
+    probes: int
+    probes_lost: int
+    elapsed_ms: float
+    error: str = ""
+
+    @property
+    def completeness(self) -> float:
+        denom = self.hosts_total + self.switches_total + self.wires_total
+        found = self.hosts_found + self.switches_found + self.wires_found
+        return found / denom if denom else 1.0
+
+
+def crosstraffic_study(
+    net: Network,
+    mapper_host: str,
+    *,
+    search_depth: int,
+    rates: tuple[float, ...] = (0.0, 0.5, 1.0, 2.0, 5.0, 10.0),
+    retries: tuple[int, ...] = (0, 2),
+    seed: int = 0,
+) -> list[TrafficPoint]:
+    """Sweep traffic intensity x retry budget; measure map quality/cost."""
+    core = core_network(net)
+    points: list[TrafficPoint] = []
+    for rate in rates:
+        for n_retries in retries:
+            svc: object = CrossTrafficProbeService(
+                net,
+                mapper_host,
+                rate_msgs_per_ms=rate,
+                traffic_seed=seed,
+            )
+            base = svc
+            if n_retries:
+                svc = RetryingProbeService(svc, retries=n_retries)
+            error = ""
+            try:
+                result = BerkeleyMapper(
+                    svc, search_depth=search_depth, host_first=False
+                ).run()
+                produced = result.network
+                correct = bool(match_networks(produced, core))
+            except MappingError as exc:  # pragma: no cover - defensive
+                produced = None
+                correct = False
+                error = str(exc)
+            points.append(
+                TrafficPoint(
+                    rate_msgs_per_ms=rate,
+                    retries=n_retries,
+                    correct=correct,
+                    hosts_found=produced.n_hosts if produced else 0,
+                    hosts_total=core.n_hosts,
+                    switches_found=produced.n_switches if produced else 0,
+                    switches_total=core.n_switches,
+                    wires_found=produced.n_wires if produced else 0,
+                    wires_total=core.n_wires,
+                    probes=base.stats.total_probes,
+                    probes_lost=base.probes_lost_to_traffic,
+                    elapsed_ms=base.stats.elapsed_ms,
+                    error=error,
+                )
+            )
+    return points

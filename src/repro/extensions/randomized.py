@@ -1,0 +1,178 @@
+"""Randomized / coupon-collecting mapping (Section 6).
+
+"We conjecture that the network mapping problem may have good solution
+using randomized techniques. ... Vazirani has suggested a coupon-collecting
+initial phase to find most of the graph. Probes of maximal depth are sent
+out in random directions. This is a considerable saving in probes over
+randomized depth first search, since the whole length of the path is
+effectively explored with one probe. The dangling edges of the resulting
+graph can then be explored in a breadth-first way."
+
+The paper couples this with a small firmware change: "further suppose that
+the firmware were changed a bit, so that instead of a 'hit host too soon'
+error causing a message to be discarded, the host could read it and send a
+response". Without that change a random walk dies the moment it brushes any
+host mid-string, and the phase is nearly worthless in host-dense networks.
+
+- :class:`EarlyHostProbeService` implements the firmware change: a probe
+  that reaches a host *anywhere* along its string gets a reply naming the
+  host and the prefix that reached it.
+- :class:`CouponMapper` runs the coupon phase before the BFS exploration
+  (phase 2 = the unmodified Berkeley algorithm). Each hit contributes a
+  whole path of switch vertices ending in a host anchor; the regular
+  deduction engine consumes them. With a plain probe service it degrades
+  gracefully to exact-length host-probes (the ablation bench shows the
+  difference).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.mapper import BerkeleyMapper
+from repro.simulator.path_eval import PathStatus, evaluate_route
+from repro.simulator.probes import ProbeKind, ProbeRecord
+from repro.simulator.quiescent import QuiescentProbeService
+from repro.simulator.turns import Turns, validate_turns
+
+__all__ = ["CouponMapper", "EarlyHostProbeService"]
+
+
+class EarlyHostProbeService(QuiescentProbeService):
+    """Quiescent service with the Section 6 firmware change."""
+
+    def probe_host_any(self, turns: Turns) -> tuple[str, Turns] | None:
+        """Host-probe that also succeeds on HIT-A-HOST-TOO-SOON.
+
+        Returns ``(host, prefix)`` where ``prefix`` is the (possibly whole)
+        turn string that reached the host, or ``None``.
+        """
+        turns = validate_turns(turns)
+        path = evaluate_route(self.net, self.mapper, turns)
+        host: str | None = None
+        prefix: Turns = turns
+        if path.status is PathStatus.DELIVERED:
+            host = path.delivered_to
+        elif path.status is PathStatus.HIT_HOST_TOO_SOON:
+            host = path.nodes[-1]
+            assert path.failed_at_turn is not None
+            prefix = turns[: path.failed_at_turn]
+        if host is not None:
+            if self.collision.blocked_at(path.traversals) is not None:
+                host = None
+            elif self.faults.kills_probe(path):
+                host = None
+            elif not self._responds(host):
+                host = None
+        hit = host is not None
+        cost = self._jittered(
+            self.timing.probe_response_us(path.hops, path.hops)
+            if hit
+            else self.timing.probe_timeout_us()
+        )
+        self._stats.record(ProbeRecord(ProbeKind.HOST, turns, hit, cost, host))
+        return (host, prefix) if host is not None else None
+
+_KIND_SWITCH = "switch"
+_KIND_HOST = "host"
+
+
+class CouponMapper(BerkeleyMapper):
+    """Berkeley mapper with a coupon-collecting random seeding phase."""
+
+    def __init__(
+        self,
+        service,
+        *,
+        search_depth: int,
+        coupon_probes: int = 40,
+        coupon_depth: int | None = None,
+        coupon_seed: int = 0,
+        **kwargs,
+    ) -> None:
+        super().__init__(service, search_depth=search_depth, **kwargs)
+        if coupon_probes < 0:
+            raise ValueError("coupon_probes must be non-negative")
+        self._coupon_probes = coupon_probes
+        self._coupon_depth = coupon_depth or search_depth
+        self._coupon_rng = random.Random(coupon_seed)
+        self.coupon_hits = 0
+
+    def _seed_phase(self) -> None:
+        # The root switch (created by _initialize) anchors every random walk.
+        root = None
+        for v in self._vertices:
+            if v.kind == _KIND_SWITCH:
+                root = v
+                break
+        assert root is not None
+        # Random direction, biased toward small turns: "excluding turn 0,
+        # turns of +/-1 are the best, turns of +/-2 are the next best"
+        # (Section 3.3) — a uniform draw over +/-7 dies almost immediately
+        # to ILLEGAL TURN / NO SUCH WIRE.
+        turns_alphabet = [t for t in range(-(self._radix - 1), self._radix) if t]
+        weights = [1.0 / (abs(t) ** 2) for t in turns_alphabet]
+        for _ in range(self._coupon_probes):
+            length = self._coupon_rng.randint(
+                max(1, self._coupon_depth // 2), self._coupon_depth
+            )
+            string = tuple(
+                self._coupon_rng.choices(turns_alphabet, weights=weights)[0]
+                for _ in range(length)
+            )
+            if hasattr(self._svc, "probe_host_any"):
+                got = self._svc.probe_host_any(string)
+                if got is None:
+                    continue
+                host, prefix = got
+            else:
+                host = self._svc.probe_host(string)
+                if host is None:
+                    continue
+                prefix = string
+            self.coupon_hits += 1
+            self._absorb_path(root, prefix, host)
+        self._drain_mergelist()
+
+    def _absorb_path(self, root, string, host: str) -> None:
+        """Install the whole successful probe path into the model graph.
+
+        Every proper prefix of the string reached a switch (the probe went
+        through it); the full string reached ``host``. Prefix vertices join
+        the frontier like any other discovery; the host registers and
+        anchors merges.
+
+        Index bookkeeping: each vertex's neighbor indices are relative to
+        *its own* creation-path entry port. The coupon walk tracks ``entry``,
+        the relative index at which this walk entered the current vertex, so
+        turn ``t`` lands at index ``entry + t`` in the vertex's frame. Fresh
+        vertices are created in the walk's frame (entry 0); following a
+        known wire re-bases to the far vertex's frame.
+        """
+        current = self._find(root)
+        entry = 0  # the walk enters the root exactly as its creation did
+        for i, turn in enumerate(string):
+            prefix = string[: i + 1]
+            is_last = i == len(string) - 1
+            idx = entry + turn
+            existing = current.nbrs.get(idx)
+            if existing and not is_last:
+                # Port already known: follow the wire instead of duplicating.
+                far, far_idx = min(existing, key=lambda e: (e[0].vid, e[1]))
+                far = self._find(far)
+                if far.kind != _KIND_SWITCH:
+                    # The model claims a host here, yet the probe passed
+                    # through. Unresolvable locally; stop absorbing (sound:
+                    # we add nothing rather than something wrong).
+                    return
+                current, entry = far, far_idx
+                continue
+            if is_last:
+                child = self._new_vertex(_KIND_HOST, prefix, host_name=host)
+                self._link(current, idx, child, 0)
+                self._register_host(child)
+            else:
+                child = self._new_vertex(_KIND_SWITCH, prefix)
+                self._link(current, idx, child, 0)
+                self._frontier.append(child)
+                current, entry = self._find(child), 0

@@ -1,0 +1,50 @@
+"""Deadlock-free route computation and distribution (Section 5.5).
+
+From a network map the system derives mutually deadlock-free routes with
+UP*/DOWN* routing [Autonet]: a BFS edge ordering from a root switch chosen
+as far from all hosts as possible, such that every valid route follows zero
+or more up edges then zero or more down edges — a route never turns from a
+down edge onto an up edge. Locally dominant switches (unusable under the
+raw BFS labeling) are relabeled per the paper's heuristic.
+
+- :mod:`~repro.routing.updown` — root selection, BFS labeling, edge
+  orientation, dominant-switch relabeling;
+- :mod:`~repro.routing.paths` — all-pairs shortest compliant paths
+  (Floyd–Warshall on the up/down phase graph, as in the paper, plus an
+  independent BFS method for cross-checking);
+- :mod:`~repro.routing.compile_routes` — absolute paths to relative-turn
+  source routes, verified by simulation;
+- :mod:`~repro.routing.deadlock` — channel-dependency-graph acyclicity
+  (Dally–Seitz) over complete route sets;
+- :mod:`~repro.routing.distribute` — route-table distribution to all
+  interfaces.
+"""
+
+from repro.routing.updown import UpDownOrientation, orient_updown, pick_root
+from repro.routing.paths import RoutingPaths, all_pairs_updown_paths
+from repro.routing.compile_routes import RouteTable, compile_route_tables
+from repro.routing.deadlock import channel_dependency_graph, routes_deadlock_free
+from repro.routing.distribute import DistributionReport, distribute_routes
+from repro.routing.incremental import diff_route_tables, distribute_incremental
+from repro.routing.lash import LashRouting, lash_route_tables
+from repro.routing.quality import RouteQuality, analyze_routes
+
+__all__ = [
+    "DistributionReport",
+    "LashRouting",
+    "RouteQuality",
+    "analyze_routes",
+    "diff_route_tables",
+    "distribute_incremental",
+    "lash_route_tables",
+    "RouteTable",
+    "RoutingPaths",
+    "UpDownOrientation",
+    "all_pairs_updown_paths",
+    "channel_dependency_graph",
+    "compile_route_tables",
+    "distribute_routes",
+    "orient_updown",
+    "pick_root",
+    "routes_deadlock_free",
+]

@@ -1,0 +1,128 @@
+"""Compiling node paths into relative-turn source routes.
+
+Myrinet messages carry no addresses — just the turn string — so the final
+routing artifact is, per destination, the sequence of relative turns the
+source host's interface prepends to every message. The turn at each switch
+is ``output port − input port`` (Section 2.2), which is invariant under the
+per-switch port offsets the mapper cannot determine: routes compiled from a
+map are byte-for-byte valid on the physical network.
+
+"Where multiple edges are available between two switches, the algorithm has
+the option of randomly choosing among them for load balance" — wire choice
+among parallel cables is seeded-random here for exactly that reason.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.routing.paths import RoutingPaths
+from repro.routing.updown import UpDownOrientation
+from repro.simulator.path_eval import Traversal
+from repro.simulator.turns import Turns
+from repro.topology.model import HOST_PORT, Network, PortRef, Wire
+
+__all__ = ["CompiledRoute", "RouteTable", "compile_route_tables", "path_to_turns"]
+
+
+@dataclass(frozen=True, slots=True)
+class CompiledRoute:
+    """One source route: the turn string plus its wire-level trace."""
+
+    src: str
+    dst: str
+    turns: Turns
+    traversals: tuple[Traversal, ...]
+
+    @property
+    def hops(self) -> int:
+        return len(self.traversals)
+
+
+@dataclass(slots=True)
+class RouteTable:
+    """All routes out of one host, keyed by destination host."""
+
+    host: str
+    routes: dict[str, CompiledRoute] = field(default_factory=dict)
+
+    def turns_to(self, dst: str) -> Turns:
+        return self.routes[dst].turns
+
+    def __len__(self) -> int:
+        return len(self.routes)
+
+
+def _pick_wire(
+    net: Network,
+    u: str,
+    v: str,
+    orientation: UpDownOrientation | None,
+    rng: random.Random,
+) -> Wire:
+    """A wire between u and v; random among parallel cables (load balance)."""
+    candidates = [
+        w
+        for w in net.wires_of(u)
+        if {w.a.node, w.b.node} == {u, v} and w.a.node != w.b.node
+    ]
+    if not candidates:
+        raise ValueError(f"no wire between {u} and {v}")
+    if len(candidates) == 1:
+        return candidates[0]
+    return rng.choice(sorted(candidates, key=lambda w: (w.a, w.b)))
+
+
+def path_to_turns(
+    net: Network,
+    node_path: list[str],
+    *,
+    orientation: UpDownOrientation | None = None,
+    rng: random.Random | None = None,
+) -> CompiledRoute:
+    """Compile a host-to-host node path into a relative-turn source route."""
+    if len(node_path) < 2:
+        raise ValueError("a route needs at least source and destination")
+    src, dst = node_path[0], node_path[-1]
+    if not (net.is_host(src) and net.is_host(dst)):
+        raise ValueError("routes run between hosts")
+    rng = rng or random.Random(0)
+
+    traversals: list[Traversal] = []
+    for u, v in zip(node_path, node_path[1:]):
+        wire = _pick_wire(net, u, v, orientation, rng)
+        end_u = wire.a if wire.a.node == u else wire.b
+        traversals.append(Traversal(end_u, wire.other_end(end_u)))
+
+    turns: list[int] = []
+    for incoming, outgoing in zip(traversals, traversals[1:]):
+        in_port = incoming.dst.port
+        out_port = outgoing.src.port
+        turns.append(out_port - in_port)
+    return CompiledRoute(
+        src=src, dst=dst, turns=tuple(turns), traversals=tuple(traversals)
+    )
+
+
+def compile_route_tables(
+    net: Network,
+    paths: RoutingPaths,
+    *,
+    orientation: UpDownOrientation | None = None,
+    seed: int = 0,
+) -> dict[str, RouteTable]:
+    """Route tables for every host pair with a compliant path."""
+    rng = random.Random(seed)
+    tables: dict[str, RouteTable] = {h: RouteTable(h) for h in sorted(net.hosts)}
+    for src in sorted(net.hosts):
+        for dst in sorted(net.hosts):
+            if src == dst:
+                continue
+            node_path = paths.node_path(src, dst)
+            if node_path is None:
+                continue
+            tables[src].routes[dst] = path_to_turns(
+                net, node_path, orientation=orientation, rng=rng
+            )
+    return tables

@@ -1,0 +1,158 @@
+"""All-pairs shortest UP*/DOWN*-compliant paths.
+
+"We use the Floyd-Warshall all-pairs shortest-paths algorithm to compute
+compliant paths between all hosts" (Section 5.5). A compliant path follows
+zero or more up edges, then zero or more down edges, never turning from a
+down edge back onto an up edge.
+
+Primary method — Floyd–Warshall on the *phase graph*: each node appears in
+two states, (node, UP) "still allowed to go up" and (node, DOWN) "committed
+to going down". Up edges connect UP states; down edges connect UP→DOWN and
+DOWN→DOWN. The forbidden down→up transition simply has no arc. The min-plus
+recurrence runs vectorized with numpy over the 2N×2N distance matrix, with
+a successor matrix for path reconstruction.
+
+Cross-check method — per-source BFS over the same phase graph
+(:func:`bfs_updown_lengths`), used by the test suite to validate the FW
+distances independently.
+
+Parallel wires: the phase graph works on nodes; wire selection (including
+the paper's random choice among parallel wires for load balance) happens in
+:mod:`repro.routing.compile_routes`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.routing.updown import UpDownOrientation
+from repro.topology.model import Network
+
+__all__ = ["RoutingPaths", "all_pairs_updown_paths", "bfs_updown_lengths"]
+
+_INF = np.iinfo(np.int32).max // 4
+
+
+@dataclass(slots=True)
+class RoutingPaths:
+    """Distances and reconstructable paths between all node pairs."""
+
+    nodes: list[str]
+    index: dict[str, int]
+    dist: "np.ndarray"  # (2N, 2N) phase-graph distances
+    succ: "np.ndarray"  # successor state for path reconstruction
+
+    def distance(self, src: str, dst: str) -> int | None:
+        """Length of the shortest compliant path, or None if unreachable."""
+        n = len(self.nodes)
+        s = self.index[src]  # start in the UP phase
+        best = min(self.dist[s, self.index[dst]], self.dist[s, self.index[dst] + n])
+        return None if best >= _INF else int(best)
+
+    def node_path(self, src: str, dst: str) -> list[str] | None:
+        """The node sequence of one shortest compliant path."""
+        n = len(self.nodes)
+        s = self.index[src]
+        d_up, d_down = self.index[dst], self.index[dst] + n
+        target = d_up if self.dist[s, d_up] <= self.dist[s, d_down] else d_down
+        if self.dist[s, target] >= _INF:
+            return None
+        path = [src]
+        state = s
+        guard = 0
+        while state != target:
+            state = int(self.succ[state, target])
+            if state < 0:
+                return None  # defensive: broken successor chain
+            node = self.nodes[state % n]
+            if node != path[-1]:  # the free UP->DOWN hop stays in place
+                path.append(node)
+            guard += 1
+            if guard > 2 * n + 2:
+                raise RuntimeError("successor chain did not converge")
+        return path
+
+
+def all_pairs_updown_paths(
+    net: Network, orientation: UpDownOrientation
+) -> RoutingPaths:
+    """Floyd–Warshall over the up/down phase graph (vectorized min-plus)."""
+    nodes = sorted(net.nodes)
+    index = {name: i for i, name in enumerate(nodes)}
+    n = len(nodes)
+    m = 2 * n  # states: [0, n) = UP phase, [n, 2n) = DOWN phase
+    dist = np.full((m, m), _INF, dtype=np.int32)
+    succ = np.full((m, m), -1, dtype=np.int32)
+    np.fill_diagonal(dist, 0)
+    # Entering the DOWN phase without moving is free: (u, UP) -> (u, DOWN).
+    for i in range(n):
+        dist[i, i + n] = 0
+        succ[i, i + n] = i + n
+
+    def arc(a: int, b: int) -> None:
+        if 1 < dist[a, b]:
+            dist[a, b] = 1
+            succ[a, b] = b
+
+    for wire in net.wires:
+        u, v = wire.nodes
+        if u == v:
+            continue  # self-loop cables are useless for routing
+        iu, iv = index[u], index[v]
+        for x, y in ((iu, iv), (iv, iu)):
+            if orientation.is_up(nodes[x], nodes[y]):
+                arc(x, y)          # UP -> UP
+            else:
+                arc(x, y + n)      # UP -> DOWN (the single allowed turn)
+                arc(x + n, y + n)  # DOWN -> DOWN
+
+    # Min-plus Floyd–Warshall with numpy row/column broadcasting.
+    for k in range(m):
+        via = dist[:, k, None] + dist[None, k, :]
+        better = via < dist
+        if better.any():
+            dist[better] = via[better]
+            succ[better] = np.broadcast_to(succ[:, k, None], succ.shape)[better]
+    return RoutingPaths(nodes=nodes, index=index, dist=dist, succ=succ)
+
+
+def bfs_updown_lengths(
+    net: Network, orientation: UpDownOrientation, source: str
+) -> dict[str, int]:
+    """Independent single-source compliant-path lengths (for cross-checks)."""
+    nodes = sorted(net.nodes)
+    index = {name: i for i, name in enumerate(nodes)}
+    n = len(nodes)
+    up_adj: dict[int, set[int]] = {i: set() for i in range(n)}
+    down_adj: dict[int, set[int]] = {i: set() for i in range(n)}
+    for wire in net.wires:
+        u, v = wire.nodes
+        if u == v:
+            continue
+        for x, y in ((u, v), (v, u)):
+            if orientation.is_up(x, y):
+                up_adj[index[x]].add(index[y])
+            else:
+                down_adj[index[x]].add(index[y])
+    # BFS over states (node, phase).
+    start = (index[source], 0)
+    seen = {start: 0}
+    queue: deque[tuple[tuple[int, int], int]] = deque([(start, 0)])
+    best: dict[int, int] = {index[source]: 0}
+    while queue:
+        (i, phase), d = queue.popleft()
+        moves: list[tuple[int, int]] = []
+        if phase == 0:
+            moves += [(j, 0) for j in up_adj[i]]
+            moves += [(j, 1) for j in down_adj[i]]
+        else:
+            moves += [(j, 1) for j in down_adj[i]]
+        for state in moves:
+            if state not in seen:
+                seen[state] = d + 1
+                best[state[0]] = min(best.get(state[0], _INF), d + 1)
+                queue.append((state, d + 1))
+    return {nodes[i]: d for i, d in best.items()}

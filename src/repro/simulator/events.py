@@ -1,0 +1,70 @@
+"""A minimal discrete-event engine.
+
+Used by the concurrent scenarios (leader election, cross-traffic, the
+multi-responder study of Figure 9) where several mapper daemons act at
+once. Deterministic: ties in time are broken by insertion order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["EventQueue"]
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventQueue:
+    """heapq-based future event list with cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: list[_Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> _Event:
+        """Schedule ``action`` at ``now + delay``; returns a cancellable handle."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        ev = _Event(self._now + delay, next(self._counter), action)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> _Event:
+        return self.schedule(max(0.0, time - self._now), action)
+
+    @staticmethod
+    def cancel(event: _Event) -> None:
+        event.cancelled = True
+
+    def run(self, *, until: float | None = None, max_events: int = 10_000_000) -> int:
+        """Process events in time order; returns the number executed."""
+        executed = 0
+        while self._heap and executed < max_events:
+            if until is not None and self._heap[0].time > until:
+                break
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self._now = ev.time
+            ev.action()
+            executed += 1
+        if until is not None and self._now < until:
+            self._now = until
+        return executed
+
+    def __len__(self) -> int:
+        return sum(1 for ev in self._heap if not ev.cancelled)

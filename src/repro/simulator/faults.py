@@ -1,0 +1,61 @@
+"""Fault injection: the "other errors" of Section 2.3.1.
+
+The proof assumes a quiescent, error-free network, but the paper notes that
+probes can also vanish to message corruption and the like. This module lets
+experiments inject such failures:
+
+- ``drop_prob`` — a probe (or its reply) silently vanishes;
+- ``corrupt_prob`` — the message is destroyed by a CRC failure (identical
+  observable effect at the mapper: no response);
+- ``dead_wires`` — cables that eat every message crossing them (a failed
+  link that the physical layer has not reported anywhere — SANs have no
+  out-of-band link monitoring, Section 5.6).
+
+A ``FaultModel`` is deterministic given its seed, so experiment runs are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.simulator.path_eval import PathResult
+
+__all__ = ["FaultModel", "NO_FAULTS"]
+
+
+@dataclass
+class FaultModel:
+    """Stochastic and structural probe-failure injection."""
+
+    drop_prob: float = 0.0
+    corrupt_prob: float = 0.0
+    dead_wires: frozenset[frozenset] = field(default_factory=frozenset)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for p in (self.drop_prob, self.corrupt_prob):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError("probabilities must be in [0, 1]")
+        self._rng = random.Random(self.seed)
+
+    @property
+    def active(self) -> bool:
+        return bool(self.drop_prob or self.corrupt_prob or self.dead_wires)
+
+    def kills_probe(self, path: PathResult) -> bool:
+        """Decide whether this (otherwise successful) probe is lost."""
+        if self.dead_wires:
+            for tr in path.traversals:
+                if frozenset((tr.src, tr.dst)) in self.dead_wires:
+                    return True
+        if self.drop_prob and self._rng.random() < self.drop_prob:
+            return True
+        if self.corrupt_prob and self._rng.random() < self.corrupt_prob:
+            return True
+        return False
+
+
+#: Shared no-op instance.
+NO_FAULTS = FaultModel()

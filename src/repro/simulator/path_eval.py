@@ -1,0 +1,127 @@
+"""Message-path evaluation: Section 2.2 of the paper, executable.
+
+Given a network, a sending host ``h0`` and a routing address ``a1...ak``,
+compute the message path ``h0, n1, ..., nk+1`` — or the precise failure
+mode. The four ways a routing address fails to define a message path:
+
+- ``ILLEGAL_TURN`` — some ``p_i + a_i`` is not a legal port number;
+- ``NO_SUCH_WIRE`` — the switch has no wire at the computed output port;
+- ``HIT_HOST_TOO_SOON`` — the message arrives at a host with routing
+  characters left (the hardware destroys it);
+- ``STRANDED`` — the characters are exhausted but the path ends at a switch.
+
+The evaluation also records every *directed wire traversal*, which is what
+the collision models of Section 2.3.1 consume: a worm that re-crosses a wire
+in the same direction may block on its own tail.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.topology.model import HOST_PORT, Network, PortRef
+
+__all__ = ["PathStatus", "Traversal", "PathResult", "evaluate_route"]
+
+
+class PathStatus(enum.Enum):
+    """Outcome of evaluating a routing address."""
+
+    DELIVERED = "delivered"
+    ILLEGAL_TURN = "illegal turn"
+    NO_SUCH_WIRE = "no such wire"
+    HIT_HOST_TOO_SOON = "hit a host too soon"
+    STRANDED = "stranded in network"
+    NOT_ATTACHED = "source host not attached"
+
+
+@dataclass(frozen=True, slots=True)
+class Traversal:
+    """One directed wire crossing: from ``src`` out to ``dst``."""
+
+    src: PortRef
+    dst: PortRef
+
+    @property
+    def undirected(self) -> tuple[PortRef, PortRef]:
+        """Direction-insensitive wire identity."""
+        return (self.src, self.dst) if self.src <= self.dst else (self.dst, self.src)
+
+    def reversed(self) -> "Traversal":
+        return Traversal(self.dst, self.src)
+
+
+@dataclass(slots=True)
+class PathResult:
+    """The message path (possibly partial) and its outcome."""
+
+    status: PathStatus
+    nodes: list[str] = field(default_factory=list)
+    traversals: list[Traversal] = field(default_factory=list)
+    delivered_to: str | None = None
+    failed_at_turn: int | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status is PathStatus.DELIVERED
+
+    @property
+    def hops(self) -> int:
+        """Number of wires crossed before termination or failure."""
+        return len(self.traversals)
+
+
+def evaluate_route(
+    net: Network, h0: str, turns: Iterable[int]
+) -> PathResult:
+    """Evaluate routing address ``turns`` injected by host ``h0``.
+
+    Follows Section 2.2 exactly: the first hop crosses the host's wire to
+    the adjacent switch port ``(n1, p1)``; each turn ``a_i`` is applied to
+    the *input* port of the current switch; the path ends when the turns are
+    exhausted (success iff the terminal node is a host) or a failure mode
+    triggers. Turn 0 is evaluated like any other (output = input port), as
+    the switch-probe's bounce requires.
+    """
+    if not net.is_host(h0):
+        raise ValueError(f"source {h0} is not a host")
+    seq = tuple(turns)
+    result = PathResult(status=PathStatus.DELIVERED, nodes=[h0])
+
+    attach = net.neighbor_at(h0, HOST_PORT)
+    if attach is None:
+        result.status = PathStatus.NOT_ATTACHED
+        return result
+    result.traversals.append(Traversal(PortRef(h0, HOST_PORT), attach))
+    result.nodes.append(attach.node)
+    current = attach  # the (node, input port) the message now sits at
+
+    for i, turn in enumerate(seq):
+        if net.is_host(current.node):
+            # Routing characters remain but we are at a host: the hardware
+            # destroys the message.
+            result.status = PathStatus.HIT_HOST_TOO_SOON
+            result.failed_at_turn = i
+            return result
+        out_port = current.port + turn  # NOT modulo the radix (Section 2.2)
+        if not 0 <= out_port < net.radix(current.node):
+            result.status = PathStatus.ILLEGAL_TURN
+            result.failed_at_turn = i
+            return result
+        src = PortRef(current.node, out_port)
+        dst = net.neighbor_at(current.node, out_port)
+        if dst is None:
+            result.status = PathStatus.NO_SUCH_WIRE
+            result.failed_at_turn = i
+            return result
+        result.traversals.append(Traversal(src, dst))
+        result.nodes.append(dst.node)
+        current = dst
+
+    if net.is_switch(current.node):
+        result.status = PathStatus.STRANDED
+        return result
+    result.delivered_to = current.node
+    return result

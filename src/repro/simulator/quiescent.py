@@ -1,0 +1,195 @@
+"""The quiescent-network probe service: the setting of the proof.
+
+"Recall the assumption that the network is quiescent during mapping and thus
+worms can only deadlock on themselves" (Section 2.3.1). Under quiescence a
+probe's fate is a pure function of the topology, the collision model and the
+fault model, so the service evaluates probes analytically and charges the
+timing model for each — no event queue needed. (Concurrent scenarios —
+election mode, cross-traffic — use :mod:`repro.simulator.occupancy`.)
+
+Host-probe semantics beyond path evaluation:
+
+- the terminal host must be running a mapper daemon (active or passive) to
+  reply — hosts without one silently eat the probe (this is the Figure 9
+  mechanism: absent responders turn would-be hits into expensive timeouts);
+- the reply retraces the probe path in reverse; under quiescence it cannot
+  collide with anything (the probe worm is gone by then).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simulator.collision import CircuitModel, CollisionModel
+from repro.simulator.faults import NO_FAULTS, FaultModel
+from repro.simulator.path_eval import PathStatus, evaluate_route
+from repro.simulator.probes import ProbeKind, ProbeRecord, ProbeStats
+from repro.simulator.timing import MYRINET_TIMING, TimingModel
+from repro.simulator.turns import Turns, switch_probe_turns, validate_turns
+from repro.topology.model import Network
+
+__all__ = ["QuiescentProbeService"]
+
+
+@dataclass
+class QuiescentProbeService:
+    """Evaluate probes against a quiescent network.
+
+    Parameters
+    ----------
+    net:
+        The actual network ``N`` (never exposed to the mapper).
+    mapper:
+        The host injecting probes (``h0``).
+    collision:
+        Self-collision model; the proof's two cases are
+        :class:`~repro.simulator.collision.CircuitModel` and
+        :class:`~repro.simulator.collision.CutThroughModel`.
+    timing:
+        Cost model; probe costs accumulate in ``stats.elapsed_us``.
+    responders:
+        Hosts that answer host-probes. ``None`` means every host.
+    faults:
+        Optional loss/corruption/dead-wire injection.
+    """
+
+    net: Network
+    mapper: str
+    collision: CollisionModel = field(default_factory=CircuitModel)
+    timing: TimingModel = MYRINET_TIMING
+    responders: frozenset[str] | None = None
+    faults: FaultModel = field(default_factory=FaultModel)
+    keep_trace: bool = False
+    #: Multiplicative software-time jitter: each probe's cost is scaled by a
+    #: uniform factor in [1 - jitter, 1 + jitter]. Models OS scheduling and
+    #: SBUS contention noise — the source of the paper's min/avg/max spread
+    #: in Figure 7. Zero disables it (fully deterministic timing).
+    jitter: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.net.is_host(self.mapper):
+            raise ValueError(f"mapper {self.mapper} is not a host")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        self._stats = ProbeStats(trace=[] if self.keep_trace else None)
+        # Turn-alphabet radius: Myrinet encodes {-7..+7}; wider fabrics
+        # need wider routing flits, so derive the limit from the hardware.
+        self._turn_limit = max(
+            (self.net.radix(s) - 1 for s in self.net.switches), default=7
+        )
+        import random
+
+        self._rng = random.Random(self.seed)
+
+    def _jittered(self, cost: float) -> float:
+        if not self.jitter:
+            return cost
+        return cost * self._rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+
+    # -- ProbeService ----------------------------------------------------
+    @property
+    def mapper_host(self) -> str:
+        return self.mapper
+
+    @property
+    def stats(self) -> ProbeStats:
+        return self._stats
+
+    def probe_host(self, turns: Turns) -> str | None:
+        turns = validate_turns(turns, limit=self._turn_limit)
+        path = evaluate_route(self.net, self.mapper, turns)
+        hit = False
+        responder: str | None = None
+        hops = path.hops
+        if path.status is PathStatus.DELIVERED:
+            blocked = self.collision.blocked_at(path.traversals)
+            if blocked is None and not self.faults.kills_probe(path):
+                target = path.delivered_to
+                assert target is not None
+                if self._responds(target):
+                    hit = True
+                    responder = target
+        cost = self._jittered(
+            self.timing.probe_response_us(hops, hops)
+            if hit
+            else self.timing.probe_timeout_us()
+        )
+        self._stats.record(
+            ProbeRecord(ProbeKind.HOST, turns, hit, cost, responder)
+        )
+        return responder
+
+    def probe_switch(self, turns: Turns) -> bool:
+        turns = validate_turns(turns, limit=self._turn_limit)
+        loop = switch_probe_turns(turns, limit=self._turn_limit)
+        path = evaluate_route(self.net, self.mapper, loop)
+        hit = False
+        if path.status is PathStatus.DELIVERED:
+            # By construction the loopback terminates back at the mapper.
+            assert path.delivered_to == self.mapper
+            blocked = self.collision.blocked_at(path.traversals)
+            if blocked is None and not self.faults.kills_probe(path):
+                hit = True
+        cost = self._jittered(
+            self.timing.probe_response_us(path.hops, 0)
+            if hit
+            else self.timing.probe_timeout_us()
+        )
+        self._stats.record(
+            ProbeRecord(ProbeKind.SWITCH, turns, hit, cost, "switch" if hit else None)
+        )
+        return hit
+
+    def probe_loopback(self, turns: Turns) -> bool:
+        """Send an arbitrary worm (zeros allowed); True iff it returns here.
+
+        The Myricom Algorithm's comparison probes ``T1..Tn X -Sm..-S1``
+        (Section 4.1) are such worms: they are neither of the two canonical
+        probe kinds, but the mapper only learns whether the message came
+        back. Accounted as a switch-kind probe in the generic stats; the
+        Myricom mapper keeps its own per-category counters on top.
+        """
+        seq = validate_turns(turns, allow_zero=True, limit=self._turn_limit)
+        path = evaluate_route(self.net, self.mapper, seq)
+        hit = (
+            path.status is PathStatus.DELIVERED
+            and path.delivered_to == self.mapper
+            and self.collision.blocked_at(path.traversals) is None
+            and not self.faults.kills_probe(path)
+        )
+        cost = self._jittered(
+            self.timing.probe_response_us(path.hops, 0)
+            if hit
+            else self.timing.probe_timeout_us()
+        )
+        self._stats.record(
+            ProbeRecord(
+                ProbeKind.SWITCH, seq, hit, cost, "loopback" if hit else None
+            )
+        )
+        return hit
+
+    # -- helpers ----------------------------------------------------------
+    def _responds(self, host: str) -> bool:
+        if host == self.mapper:
+            # The mapper's own interface always answers (it is running the
+            # active mapper daemon by definition).
+            return True
+        return self.responders is None or host in self.responders
+
+    def response(self, turns: Turns, *, host_first: bool = True):
+        """The full probe pair of Section 2.3: returns ``R(turns)``.
+
+        ``host_first`` controls which of the two tests is sent first; the
+        second is skipped when the first already identified the node.
+        Returns a host name, the string ``"switch"``, or ``None``.
+        """
+        if host_first:
+            host = self.probe_host(turns)
+            if host is not None:
+                return host
+            return "switch" if self.probe_switch(turns) else None
+        if self.probe_switch(turns):
+            return "switch"
+        return self.probe_host(turns)

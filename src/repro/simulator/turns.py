@@ -1,0 +1,74 @@
+"""Turn strings: the routing alphabet of Section 2.2.
+
+A routing address is a string ``a1...ak`` over ``{-7, ..., +7}``. Each
+character is a *turn*: the output port is the input port plus the turn,
+*not* reduced modulo the switch degree. Turn 0 sends a message back out the
+port it arrived on — ordinary probes never use it mid-route, but the
+switch-probe of Section 2.3 uses a single 0 as its bounce: the loopback
+string for ``a1...ak`` is ``a1...ak 0 -ak...-a1``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = [
+    "TURN_MAX",
+    "TURN_MIN",
+    "Turns",
+    "format_turns",
+    "parse_turns",
+    "reverse_turns",
+    "switch_probe_turns",
+    "validate_turns",
+]
+
+TURN_MIN = -7
+TURN_MAX = 7
+
+#: A routing address: a tuple of turns.
+Turns = tuple[int, ...]
+
+
+def validate_turns(
+    turns: Iterable[int], *, allow_zero: bool = False, limit: int = TURN_MAX
+) -> Turns:
+    """Check every turn is in the alphabet; returns a normalized tuple.
+
+    Probe strings proper have ``a_i != 0`` (Section 2.3); the loopback
+    bounce is the only legitimate zero, enabled with ``allow_zero``.
+    ``limit`` is the alphabet radius — Myrinet's routing flits encode
+    ``{-7..+7}``, but the algorithms are radix-generic, so services on
+    wider fabrics pass ``radix - 1``.
+    """
+    out = tuple(int(t) for t in turns)
+    for t in out:
+        if not -limit <= t <= limit:
+            raise ValueError(f"turn {t} outside alphabet [{-limit}, {limit}]")
+        if t == 0 and not allow_zero:
+            raise ValueError("turn 0 is not allowed in a probe string")
+    return out
+
+
+def reverse_turns(turns: Iterable[int]) -> Turns:
+    """``-ak ... -a1``: the turns that retrace a path back to its source."""
+    return tuple(-t for t in reversed(tuple(turns)))
+
+
+def switch_probe_turns(turns: Iterable[int], *, limit: int = TURN_MAX) -> Turns:
+    """The loopback string ``a1...ak 0 -ak...-a1`` of the switch-probe."""
+    fwd = validate_turns(turns, limit=limit)
+    return fwd + (0,) + reverse_turns(fwd)
+
+
+def format_turns(turns: Iterable[int]) -> str:
+    """Human-readable rendering, e.g. ``"+1.-3.+2"``."""
+    return ".".join(f"{t:+d}" for t in turns) or "(empty)"
+
+
+def parse_turns(text: str) -> Turns:
+    """Inverse of :func:`format_turns` (also accepts comma separators)."""
+    if text in ("", "(empty)"):
+        return ()
+    parts = text.replace(",", ".").split(".")
+    return validate_turns(int(p) for p in parts)

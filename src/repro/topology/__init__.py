@@ -1,0 +1,40 @@
+"""Network topology substrate: the formal model of Section 2.1.
+
+A network is a finite multigraph on hosts ``H`` and switches ``S``. Edges are
+*wires*; each wire end is a ``(node, port)`` pair, and no two wire ends
+incident on the same node share a port number. Switches have ports 0..7
+(radix configurable), hosts have the single port 0.
+
+The public surface of this package:
+
+- :class:`~repro.topology.model.Network` — the multigraph with port-level
+  precision and invariant checking.
+- :class:`~repro.topology.builder.NetworkBuilder` — fluent construction.
+- :mod:`~repro.topology.generators` — Berkeley NOW subclusters, fat trees,
+  regular and random topologies.
+- :mod:`~repro.topology.analysis` — diameter, switch-bridges, the set ``F``,
+  ``Q(v)`` / ``Q`` (Definitions 2 and 3), and the core ``N - F``.
+- :mod:`~repro.topology.isomorphism` — port-aware isomorphism tests.
+"""
+
+from repro.topology.model import (
+    HOST_PORT,
+    SWITCH_RADIX,
+    Network,
+    NodeKind,
+    PortRef,
+    Wire,
+    TopologyError,
+)
+from repro.topology.builder import NetworkBuilder
+
+__all__ = [
+    "HOST_PORT",
+    "SWITCH_RADIX",
+    "Network",
+    "NetworkBuilder",
+    "NodeKind",
+    "PortRef",
+    "TopologyError",
+    "Wire",
+]

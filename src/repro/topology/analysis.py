@@ -1,0 +1,263 @@
+"""Graph-theoretic analyses from Sections 2 and 3.1.4 of the paper.
+
+Implements:
+
+- the network diameter ``D``;
+- bridges and *switch-bridges* (bridges with switches at both ends);
+- the set ``F`` of nodes separated from the hosts ``H`` by a switch-bridge
+  (Lemma 1), computed two independent ways — by switch-bridge removal and by
+  the max-flow/min-cut criterion the paper's proof uses;
+- ``Q(v)`` (Definition 2): the length of the shortest path from the mapper
+  ``h0`` through ``v`` and on to any host that repeats no edge in either
+  direction, except that the first and last edge may coincide;
+- ``Q = max Q(v)`` over the core (Definition 3) and the recommended
+  exploration depth ``Q + D + 1`` (Section 3.1.4).
+
+``Q(v)`` is computed exactly with a min-cost-flow formulation: a trail
+``h0 → v → h`` with no repeated edge decomposes at ``v`` into two
+edge-disjoint trails ``v → h0`` and ``v → h``; conversely two such trails
+concatenate into a valid walk. With unit costs an optimal flow never routes
+both directions of one wire (the 2-cycle would cancel), so the "no repeated
+edge in either direction" constraint is enforced automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import networkx as nx
+
+from repro.topology.model import Network, Wire
+
+__all__ = [
+    "CoreDecomposition",
+    "bridges",
+    "core_decomposition",
+    "core_network",
+    "diameter",
+    "hop_distances",
+    "q_max",
+    "q_value",
+    "recommended_search_depth",
+    "separated_set",
+    "separated_set_flow",
+    "switch_bridges",
+]
+
+_SUPPLY = "__supply__"
+_SINK = "__sink__"
+_SINK_H0 = "__sink_h0__"
+_SINK_ANY = "__sink_any__"
+
+
+def _simple_graph(net: Network) -> nx.Graph:
+    """Underlying simple graph with edge multiplicities (loopbacks dropped)."""
+    g = nx.Graph()
+    for node in net.nodes:
+        g.add_node(node, kind=net.kind(node).value)
+    for wire in net.wires:
+        u, v = wire.nodes
+        if u == v:
+            continue  # loopback cables never affect connectivity
+        if g.has_edge(u, v):
+            g[u][v]["multiplicity"] += 1
+        else:
+            g.add_edge(u, v, multiplicity=1)
+    return g
+
+
+def diameter(net: Network) -> int:
+    """The diameter ``D`` of the network (hop count over all node pairs)."""
+    g = _simple_graph(net)
+    if g.number_of_nodes() == 0:
+        return 0
+    return nx.diameter(g)
+
+
+def hop_distances(net: Network, source: str) -> dict[str, int]:
+    """Single-source hop distances (BFS) over the underlying simple graph."""
+    return nx.single_source_shortest_path_length(_simple_graph(net), source)
+
+
+def bridges(net: Network) -> list[Wire]:
+    """All bridge wires: wires whose removal disconnects the network.
+
+    A wire parallel to another wire between the same node pair is never a
+    bridge, and loopback cables are never bridges.
+    """
+    g = _simple_graph(net)
+    bridge_pairs = {
+        frozenset((u, v))
+        for u, v in nx.bridges(g)
+        if g[u][v]["multiplicity"] == 1
+    }
+    return [
+        w
+        for w in net.wires
+        if w.a.node != w.b.node and frozenset(w.nodes) in bridge_pairs
+    ]
+
+
+def switch_bridges(net: Network) -> list[Wire]:
+    """Bridges with switches at both ends (the paper's *switch-bridge*)."""
+    return [
+        w
+        for w in bridges(net)
+        if net.is_switch(w.a.node) and net.is_switch(w.b.node)
+    ]
+
+
+def separated_set(net: Network) -> set[str]:
+    """The set ``F``: nodes separated from all hosts by some switch-bridge.
+
+    Computed directly from Lemma 1's characterization: for each switch-bridge,
+    remove it; every node in a resulting component containing no host is in
+    ``F``.
+    """
+    f: set[str] = set()
+    g = _simple_graph(net)
+    host_set = set(net.hosts)
+    for wire in switch_bridges(net):
+        u, v = wire.nodes
+        g.remove_edge(u, v)
+        for component in nx.connected_components(g):
+            if not component & host_set:
+                f |= component
+        g.add_edge(u, v, multiplicity=1)
+    return f
+
+
+def separated_set_flow(net: Network) -> set[str]:
+    """``F`` via the Max-Flow/Min-Cut criterion used in the Lemma 1 proof.
+
+    A switch ``v`` is outside ``F`` iff two units of flow can be pushed from
+    ``v`` to the host set with unit capacity on every wire. Hosts are never
+    in ``F``.
+    """
+    if net.n_hosts == 0:
+        return set(net.switches)
+    dg = nx.DiGraph()
+    for wire in net.wires:
+        u, v = wire.nodes
+        if u == v:
+            continue
+        for a, b in ((u, v), (v, u)):
+            if dg.has_edge(a, b):
+                dg[a][b]["capacity"] += 1
+            else:
+                dg.add_edge(a, b, capacity=1)
+    for host in net.hosts:
+        dg.add_edge(host, _SINK, capacity=1)
+    f: set[str] = set()
+    for switch in net.switches:
+        if switch not in dg:
+            f.add(switch)  # fully disconnected switch
+            continue
+        value = nx.maximum_flow_value(dg, switch, _SINK)
+        if value < 2:
+            f.add(switch)
+    return f
+
+
+def q_value(net: Network, h0: str, v: str) -> int | None:
+    """``Q(v)`` of Definition 2, or ``None`` when undefined (``v`` in ``F``).
+
+    Min-cost flow: supply 2 at ``v``; one unit must terminate at ``h0`` and
+    one at any host (possibly ``h0`` again via its attachment wire, the
+    Definition 2 anomaly, in which case the arc into ``h0`` carries 2).
+    """
+    if not net.is_host(h0):
+        raise ValueError(f"mapper node {h0} must be a host")
+    if v == h0:
+        return 0
+    dg = nx.DiGraph()
+    attach = net.host_attachment(h0)
+    for wire in net.wires:
+        a, b = wire.nodes
+        if a == b:
+            continue
+        for u, w in ((a, b), (b, a)):
+            cap = 1
+            # Anomaly: the first and last edge of the walk may be the same,
+            # i.e. h0's attachment wire may carry both trail ends into h0.
+            if attach is not None and w == h0 and u == attach.node:
+                cap = 2
+            if dg.has_edge(u, w):
+                dg[u][w]["capacity"] += cap
+            else:
+                dg.add_edge(u, w, capacity=cap, weight=1)
+    if v not in dg:
+        return None
+    # Forbid through-traffic at hosts other than the trail endpoints: a trail
+    # cannot pass *through* a host (degree 1 makes it impossible anyway, but
+    # parallel host wires are rejected by the model, so nothing to do).
+    dg.add_edge(h0, _SINK_H0, capacity=1, weight=0)
+    for host in net.hosts:
+        dg.add_edge(host, _SINK_ANY, capacity=1, weight=0)
+    dg.add_edge(_SINK_H0, _SINK, capacity=1, weight=0)
+    dg.add_edge(_SINK_ANY, _SINK, capacity=1, weight=0)
+    dg.nodes[v]["demand"] = -2
+    dg.nodes[_SINK]["demand"] = 2
+    try:
+        cost, _ = nx.network_simplex(dg)
+    except nx.NetworkXUnfeasible:
+        return None
+    return int(cost)
+
+
+@dataclass(frozen=True, slots=True)
+class CoreDecomposition:
+    """Everything the exploration-depth bound of Section 3.1.4 needs."""
+
+    h0: str
+    diameter: int
+    f_set: frozenset[str]
+    q: int
+    q_values: dict[str, int]
+
+    @property
+    def search_depth(self) -> int:
+        """The paper's bound ``Q + D + 1`` on probe string length."""
+        return self.q + self.diameter + 1
+
+    @property
+    def refined_search_depth(self) -> int:
+        """``Q + D``: the refinement noted at the end of Section 3.2.7."""
+        return self.q + self.diameter
+
+
+def core_decomposition(net: Network, h0: str) -> CoreDecomposition:
+    """Compute ``D``, ``F``, all ``Q(v)`` and ``Q`` in one pass."""
+    f = separated_set(net)
+    qvals: dict[str, int] = {}
+    for node in net.nodes:
+        if node in f:
+            continue
+        q = q_value(net, h0, node)
+        if q is not None:
+            qvals[node] = q
+    q_star = max(qvals.values(), default=0)
+    return CoreDecomposition(
+        h0=h0,
+        diameter=diameter(net),
+        f_set=frozenset(f),
+        q=q_star,
+        q_values=qvals,
+    )
+
+
+def q_max(net: Network, h0: str) -> int:
+    """``Q`` of Definition 3."""
+    return core_decomposition(net, h0).q
+
+
+def recommended_search_depth(net: Network, h0: str) -> int:
+    """The exploration depth ``Q + D + 1`` the algorithm is proven with."""
+    return core_decomposition(net, h0).search_depth
+
+
+def core_network(net: Network) -> Network:
+    """The core ``N - F`` as a standalone :class:`Network`."""
+    keep = set(net.nodes) - separated_set(net)
+    return net.induced_subnetwork(keep)

@@ -1,0 +1,100 @@
+"""Inter-host-group capacity analysis.
+
+Figure 5's caption: "Additional switches can be added to increase the
+number of roots, thereby increasing the number of simultaneously usable
+routes between subclusters as well as the bisection bandwidth."
+
+With unit-capacity links, the number of simultaneously usable edge-disjoint
+routes between two host groups is exactly the max-flow between them
+(Menger), and multiplying by the link rate gives bandwidth. This module
+computes:
+
+- :func:`host_cut_capacity` — max-flow (in links) between two host sets;
+- :func:`subcluster_cut` — the same between two NOW subclusters by name
+  prefix;
+- :func:`bisection_links` — the minimum over a set of balanced host
+  bisections (exact bisection is NP-hard; for the NOW systems the natural
+  subcluster splits are the meaningful ones and are evaluated exactly).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import networkx as nx
+
+from repro.topology.model import Network
+
+__all__ = [
+    "LINK_GBPS",
+    "bisection_links",
+    "host_cut_capacity",
+    "subcluster_cut",
+]
+
+#: Myrinet link data rate (Section 1.1), for converting links to bandwidth.
+LINK_GBPS = 1.28
+
+_SRC = "__src__"
+_DST = "__dst__"
+
+
+def _flow_graph(net: Network) -> nx.DiGraph:
+    g = nx.DiGraph()
+    for wire in net.wires:
+        u, v = wire.nodes
+        if u == v:
+            continue
+        for a, b in ((u, v), (v, u)):
+            if g.has_edge(a, b):
+                g[a][b]["capacity"] += 1
+            else:
+                g.add_edge(a, b, capacity=1)
+    return g
+
+
+def host_cut_capacity(
+    net: Network, group_a: set[str], group_b: set[str]
+) -> int:
+    """Max simultaneously usable edge-disjoint paths between host groups.
+
+    Host attachment links count (each host contributes at most one unit,
+    as in reality). Groups must be disjoint, non-empty host subsets.
+    """
+    group_a, group_b = set(group_a), set(group_b)
+    if not group_a or not group_b or group_a & group_b:
+        raise ValueError("groups must be disjoint non-empty host sets")
+    for h in group_a | group_b:
+        if not net.is_host(h):
+            raise ValueError(f"{h} is not a host")
+    g = _flow_graph(net)
+    for h in group_a:
+        g.add_edge(_SRC, h, capacity=len(group_a))
+    for h in group_b:
+        g.add_edge(h, _DST, capacity=len(group_b))
+    if _SRC not in g or _DST not in g:
+        return 0
+    return int(nx.maximum_flow_value(g, _SRC, _DST))
+
+
+def subcluster_cut(net: Network, prefix_a: str, prefix_b: str) -> int:
+    """Cut capacity between two subclusters of a composed NOW system."""
+    group_a = {h for h in net.hosts if h.startswith(prefix_a + "-")}
+    group_b = {h for h in net.hosts if h.startswith(prefix_b + "-")}
+    return host_cut_capacity(net, group_a, group_b)
+
+
+def bisection_links(
+    net: Network, partitions: list[tuple[set[str], set[str]]] | None = None
+) -> int:
+    """Minimum cut over the supplied balanced host bisections.
+
+    Without explicit partitions, hosts are split at the sorted-name median
+    (one natural bisection; callers with structure, like the NOW systems,
+    should pass the meaningful splits).
+    """
+    if partitions is None:
+        hosts = sorted(net.hosts)
+        mid = len(hosts) // 2
+        partitions = [(set(hosts[:mid]), set(hosts[mid:]))]
+    return min(host_cut_capacity(net, a, b) for a, b in partitions)

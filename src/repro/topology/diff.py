@@ -1,0 +1,110 @@
+"""Structural diffs between network maps.
+
+"These networks should be dynamically reconfigurable, automatically
+adapting to the addition or removal of hosts, switches and links." The
+remapping daemon needs to answer: *did anything change since the last map,
+and what?* Switch names are mapper-run-local and ports are only determined
+up to per-switch offsets, so a naive comparison is useless; the diff works
+on the offset-invariant skeleton:
+
+- hosts compare by their (stable, unique) names;
+- a host's *attachment signature* is the multiset of observations at its
+  switch: which hosts share the switch and the switch's degree;
+- switch/wire population compares by count and by the degree multiset.
+
+The result distinguishes "identical up to renaming/offsets" (via the full
+isomorphism check) from specific host arrivals/departures and capacity
+changes — enough for a remapper to decide whether to recompute routes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.topology.isomorphism import match_networks
+from repro.topology.model import Network
+
+__all__ = ["MapDiff", "diff_networks"]
+
+
+@dataclass(slots=True)
+class MapDiff:
+    """What changed between two maps (``old`` → ``new``)."""
+
+    identical: bool
+    hosts_added: list[str] = field(default_factory=list)
+    hosts_removed: list[str] = field(default_factory=list)
+    hosts_moved: list[str] = field(default_factory=list)
+    switch_count_delta: int = 0
+    wire_count_delta: int = 0
+    degree_profile_changed: bool = False
+
+    @property
+    def routes_stale(self) -> bool:
+        """Must routes be recomputed? Any structural change says yes."""
+        return not self.identical
+
+    def summary(self) -> str:
+        if self.identical:
+            return "no change"
+        parts = []
+        if self.hosts_added:
+            parts.append(f"+{len(self.hosts_added)} hosts")
+        if self.hosts_removed:
+            parts.append(f"-{len(self.hosts_removed)} hosts")
+        if self.hosts_moved:
+            parts.append(f"{len(self.hosts_moved)} hosts moved")
+        if self.switch_count_delta:
+            parts.append(f"switches {self.switch_count_delta:+d}")
+        if self.wire_count_delta:
+            parts.append(f"wires {self.wire_count_delta:+d}")
+        if self.degree_profile_changed and not parts:
+            parts.append("rewiring (same counts)")
+        return ", ".join(parts) or "structural change"
+
+
+def _host_signature(net: Network, host: str) -> tuple:
+    """Offset-invariant description of where a host is attached."""
+    attach = net.host_attachment(host)
+    if attach is None:
+        return ("detached",)
+    switch = attach.node
+    peers = tuple(
+        sorted(
+            far.node
+            for port in net.used_ports(switch)
+            if (far := net.neighbor_at(switch, port)) is not None
+            and net.is_host(far.node)
+            and far.node != host
+        )
+    )
+    return (net.degree(switch), peers)
+
+
+def _degree_profile(net: Network) -> Counter:
+    return Counter(net.degree(s) for s in net.switches)
+
+
+def diff_networks(old: Network, new: Network) -> MapDiff:
+    """Compare two maps; exact isomorphism short-circuits to 'identical'."""
+    if match_networks(old, new):
+        return MapDiff(identical=True)
+
+    old_hosts, new_hosts = set(old.hosts), set(new.hosts)
+    added = sorted(new_hosts - old_hosts)
+    removed = sorted(old_hosts - new_hosts)
+    moved = sorted(
+        h
+        for h in old_hosts & new_hosts
+        if _host_signature(old, h) != _host_signature(new, h)
+    )
+    return MapDiff(
+        identical=False,
+        hosts_added=added,
+        hosts_removed=removed,
+        hosts_moved=moved,
+        switch_count_delta=new.n_switches - old.n_switches,
+        wire_count_delta=new.n_wires - old.n_wires,
+        degree_profile_changed=_degree_profile(old) != _degree_profile(new),
+    )

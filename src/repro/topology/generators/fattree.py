@@ -1,0 +1,69 @@
+"""Parametric (possibly incomplete) fat trees in the Berkeley NOW style.
+
+The NOW subclusters are "fat-tree-like" (Section 5.1): leaf switches holding
+hosts, one or more internal switch levels, roots on top, with each switch
+uplinking to several switches of the next level. :func:`build_fat_tree`
+generalizes the style so experiments can scale the topology family.
+"""
+
+from __future__ import annotations
+
+from repro.topology.builder import NetworkBuilder
+from repro.topology.model import Network, TopologyError
+
+__all__ = ["build_fat_tree"]
+
+
+def build_fat_tree(
+    *,
+    n_leaves: int,
+    hosts_per_leaf: int,
+    level_widths: tuple[int, ...] = (2,),
+    uplinks: int = 2,
+    radix: int = 8,
+    prefix: str = "ft",
+    utility_host: bool = False,
+) -> Network:
+    """Build a fat tree.
+
+    ``level_widths`` gives the number of switches at each level above the
+    leaves (last entry = roots). Each switch at level ``i`` uplinks to
+    ``uplinks`` distinct switches of level ``i+1``, chosen round-robin, so
+    the tree is "incomplete" in the same way the NOW subclusters are.
+
+    Raises :class:`TopologyError` when the radix cannot accommodate the
+    requested fan-in/fan-out.
+    """
+    if n_leaves < 1 or hosts_per_leaf < 1 or not level_widths:
+        raise TopologyError("fat tree needs leaves, hosts and at least one level")
+    if hosts_per_leaf + min(uplinks, len(level_widths) and uplinks) > radix:
+        raise TopologyError(
+            f"leaf needs {hosts_per_leaf} host ports + {uplinks} uplinks > radix {radix}"
+        )
+
+    b = NetworkBuilder(default_radix=radix)
+    levels: list[list[str]] = [[f"{prefix}-leaf-{i}" for i in range(n_leaves)]]
+    for li, width in enumerate(level_widths):
+        levels.append([f"{prefix}-l{li + 1}-{i}" for i in range(width)])
+    for level in levels:
+        for s in level:
+            b.switch(s)
+
+    host_no = 0
+    for leaf in levels[0]:
+        for _ in range(hosts_per_leaf):
+            b.host(f"{prefix}-n{host_no:03d}")
+            b.attach(f"{prefix}-n{host_no:03d}", leaf)
+            host_no += 1
+
+    for lower, upper in zip(levels, levels[1:]):
+        fan = min(uplinks, len(upper))
+        for i, sw in enumerate(lower):
+            for j in range(fan):
+                b.link(sw, upper[(i + j) % len(upper)])
+
+    if utility_host:
+        b.host(f"{prefix}-svc", utility=True)
+        b.attach(f"{prefix}-svc", levels[-1][0])
+
+    return b.build(require_connected=True)

@@ -1,0 +1,403 @@
+"""The formal network model of Section 2.1 of the paper.
+
+The network ``N`` is a finite multigraph on ``H ∪ S`` (hosts and switches,
+disjoint). Edges are *wires*. Each end of every wire is labeled with a port
+number such that no two wire ends incident on the same node share a port
+number. A wire end is uniquely denoted by its ``(node, port)`` pair. A switch
+has eight allowable port numbers ``{0, ..., 7}`` (the radix is configurable
+for experimentation); a host has one port, ``0``.
+
+This module deliberately does *not* use :mod:`networkx` as the primary
+representation: the mapping algorithm's semantics depend on port-level
+precision (which port a wire enters, relative turns through switches) that a
+plain multigraph does not carry. :meth:`Network.to_networkx` provides a
+bridge for graph-theoretic analyses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+__all__ = [
+    "HOST_PORT",
+    "SWITCH_RADIX",
+    "Network",
+    "NodeKind",
+    "PortRef",
+    "TopologyError",
+    "Wire",
+]
+
+#: Default switch radix: Myrinet 8-port crossbars.
+SWITCH_RADIX = 8
+
+#: The single port number a host owns.
+HOST_PORT = 0
+
+
+class TopologyError(ValueError):
+    """Raised when an operation would violate the network model invariants."""
+
+
+class NodeKind(enum.Enum):
+    """The two node types of the formal model."""
+
+    HOST = "host"
+    SWITCH = "switch"
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class PortRef:
+    """A wire end: the ``(node, port)`` pair of Section 2.1."""
+
+    node: str
+    port: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.node}:{self.port}"
+
+
+@dataclass(frozen=True, slots=True)
+class Wire:
+    """An undirected wire between two ports.
+
+    ``a`` and ``b`` are stored in sorted order so that a wire compares equal
+    regardless of the orientation it was declared in. ``key`` disambiguates
+    parallel wires between the same port pairs in serialized form (ports are
+    exclusive, so true duplicates cannot occur; the key is a stable id).
+    """
+
+    a: PortRef
+    b: PortRef
+    key: int = 0
+
+    def __post_init__(self) -> None:
+        if self.b < self.a:
+            lo, hi = self.b, self.a
+            object.__setattr__(self, "a", lo)
+            object.__setattr__(self, "b", hi)
+
+    def other_end(self, end: PortRef) -> PortRef:
+        """Return the opposite end of this wire.
+
+        For a loopback wire (both ends on the same node) the ends are still
+        distinct ports, so identity is well defined.
+        """
+        if end == self.a:
+            return self.b
+        if end == self.b:
+            return self.a
+        raise TopologyError(f"{end} is not an end of wire {self}")
+
+    @property
+    def nodes(self) -> tuple[str, str]:
+        return (self.a.node, self.b.node)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.a}--{self.b}"
+
+
+@dataclass(slots=True)
+class _NodeInfo:
+    kind: NodeKind
+    radix: int
+    meta: dict = field(default_factory=dict)
+
+
+class Network:
+    """A system-area network: hosts, switches, ports and wires.
+
+    Invariants enforced on every mutation:
+
+    - node names are unique across hosts and switches;
+    - hosts expose only port 0, switches ports ``0..radix-1``;
+    - at most one wire per ``(node, port)``;
+    - a wire may not connect a port to itself (a physical cable has two
+      plugs), but loopback cables between two ports of one switch are legal.
+
+    The class is a faithful substrate for the mapping algorithm: everything
+    the mapper can observe in-band is derived from this structure by the
+    simulator package.
+    """
+
+    def __init__(self, *, default_radix: int = SWITCH_RADIX) -> None:
+        if default_radix < 1:
+            raise TopologyError("switch radix must be positive")
+        self._default_radix = default_radix
+        self._nodes: dict[str, _NodeInfo] = {}
+        self._wires: dict[int, Wire] = {}
+        self._port_map: dict[PortRef, int] = {}
+        self._next_wire_key = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_host(self, name: str, **meta: object) -> str:
+        """Add a host node. Hosts have the single port 0."""
+        self._check_fresh(name)
+        self._nodes[name] = _NodeInfo(NodeKind.HOST, 1, dict(meta))
+        return name
+
+    def add_switch(self, name: str, *, radix: int | None = None, **meta: object) -> str:
+        """Add a switch node with ports ``0..radix-1`` (default 8)."""
+        self._check_fresh(name)
+        r = self._default_radix if radix is None else radix
+        if r < 1:
+            raise TopologyError("switch radix must be positive")
+        self._nodes[name] = _NodeInfo(NodeKind.SWITCH, r, dict(meta))
+        return name
+
+    def connect(
+        self,
+        node_a: str,
+        port_a: int,
+        node_b: str,
+        port_b: int,
+    ) -> Wire:
+        """Run a wire between two free ports and return it."""
+        ra = self._port_ref(node_a, port_a)
+        rb = self._port_ref(node_b, port_b)
+        if ra == rb:
+            raise TopologyError(f"cannot wire port {ra} to itself")
+        for ref in (ra, rb):
+            if ref in self._port_map:
+                raise TopologyError(f"port {ref} already wired")
+        wire = Wire(ra, rb, key=self._next_wire_key)
+        self._next_wire_key += 1
+        self._wires[wire.key] = wire
+        self._port_map[ra] = wire.key
+        self._port_map[rb] = wire.key
+        return wire
+
+    def disconnect(self, wire: Wire) -> None:
+        """Remove a wire (e.g. to model a pulled cable)."""
+        stored = self._wires.pop(wire.key, None)
+        if stored is None:
+            raise TopologyError(f"wire {wire} not in network")
+        del self._port_map[stored.a]
+        del self._port_map[stored.b]
+
+    def remove_node(self, name: str) -> None:
+        """Remove a node and every wire incident on it."""
+        info = self._nodes.get(name)
+        if info is None:
+            raise TopologyError(f"no such node: {name}")
+        for wire in list(self.wires_of(name)):
+            self.disconnect(wire)
+        del self._nodes[name]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def default_radix(self) -> int:
+        return self._default_radix
+
+    def kind(self, name: str) -> NodeKind:
+        return self._info(name).kind
+
+    def is_host(self, name: str) -> bool:
+        return self._info(name).kind is NodeKind.HOST
+
+    def is_switch(self, name: str) -> bool:
+        return self._info(name).kind is NodeKind.SWITCH
+
+    def radix(self, name: str) -> int:
+        """Number of ports on the node (1 for hosts)."""
+        return self._info(name).radix
+
+    def meta(self, name: str) -> Mapping[str, object]:
+        """User metadata attached at node creation (e.g. ``utility=True``)."""
+        return self._info(name).meta
+
+    @property
+    def hosts(self) -> list[str]:
+        return [n for n, i in self._nodes.items() if i.kind is NodeKind.HOST]
+
+    @property
+    def switches(self) -> list[str]:
+        return [n for n, i in self._nodes.items() if i.kind is NodeKind.SWITCH]
+
+    @property
+    def nodes(self) -> list[str]:
+        return list(self._nodes)
+
+    @property
+    def wires(self) -> list[Wire]:
+        return list(self._wires.values())
+
+    @property
+    def n_hosts(self) -> int:
+        return sum(1 for i in self._nodes.values() if i.kind is NodeKind.HOST)
+
+    @property
+    def n_switches(self) -> int:
+        return sum(1 for i in self._nodes.values() if i.kind is NodeKind.SWITCH)
+
+    @property
+    def n_wires(self) -> int:
+        return len(self._wires)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def wire_at(self, node: str, port: int) -> Wire | None:
+        """The wire plugged into ``(node, port)``, or ``None`` if the port is free."""
+        key = self._port_map.get(self._port_ref(node, port))
+        return None if key is None else self._wires[key]
+
+    def neighbor_at(self, node: str, port: int) -> PortRef | None:
+        """The port at the far end of the wire at ``(node, port)``, if any.
+
+        This is the primitive the routing engine uses: "the neighbor of
+        ``(n_i, p_i + a_i)`` in N, when such a neighbor exists" (Section 2.2).
+        """
+        wire = self.wire_at(node, port)
+        if wire is None:
+            return None
+        return wire.other_end(PortRef(node, port))
+
+    def wires_of(self, node: str) -> Iterator[Wire]:
+        """All wires with at least one end on ``node`` (loopbacks yielded once)."""
+        info = self._info(node)
+        seen: set[int] = set()
+        for port in range(info.radix):
+            key = self._port_map.get(PortRef(node, port))
+            if key is not None and key not in seen:
+                seen.add(key)
+                yield self._wires[key]
+
+    def degree(self, node: str) -> int:
+        """Number of wired ports on ``node`` (a loopback cable counts twice)."""
+        info = self._info(node)
+        return sum(
+            1 for port in range(info.radix) if PortRef(node, port) in self._port_map
+        )
+
+    def free_ports(self, node: str) -> list[int]:
+        info = self._info(node)
+        return [
+            p for p in range(info.radix) if PortRef(node, p) not in self._port_map
+        ]
+
+    def used_ports(self, node: str) -> list[int]:
+        info = self._info(node)
+        return [p for p in range(info.radix) if PortRef(node, p) in self._port_map]
+
+    def host_attachment(self, host: str) -> PortRef | None:
+        """The switch port a host is plugged into (hosts have one wire)."""
+        if not self.is_host(host):
+            raise TopologyError(f"{host} is not a host")
+        return self.neighbor_at(host, HOST_PORT)
+
+    # ------------------------------------------------------------------
+    # validation / export
+    # ------------------------------------------------------------------
+    def validate(self, *, require_connected: bool = False) -> None:
+        """Check the standing assumptions of the paper's model.
+
+        Raises :class:`TopologyError` when the network violates the system
+        model: at least one switch and two hosts, every host wired to a
+        switch, and (optionally) connectivity.
+        """
+        if self.n_switches < 1:
+            raise TopologyError("model requires at least one switch")
+        if self.n_hosts < 2:
+            raise TopologyError("model requires at least two hosts")
+        for host in self.hosts:
+            attach = self.host_attachment(host)
+            if attach is None:
+                raise TopologyError(f"host {host} is not attached to the network")
+            if not self.is_switch(attach.node):
+                raise TopologyError(
+                    f"host {host} is wired to {attach.node}, which is not a switch"
+                )
+        if require_connected and not self.is_connected():
+            raise TopologyError("network is not connected")
+
+    def is_connected(self) -> bool:
+        if not self._nodes:
+            return True
+        import networkx as nx
+
+        g = self.to_networkx()
+        return nx.is_connected(nx.Graph(g)) if g.number_of_nodes() else True
+
+    def to_networkx(self):
+        """Export as a :class:`networkx.MultiGraph`.
+
+        Node attributes: ``kind`` ("host"/"switch"). Edge keys are wire keys;
+        edge attributes ``port_u``/``port_v`` give the port at each endpoint
+        (``port_u`` belongs to the lexicographically addressed ``u``
+        networkx endpoint as stored in ``Wire.a``).
+        """
+        import networkx as nx
+
+        g = nx.MultiGraph()
+        for name, info in self._nodes.items():
+            g.add_node(name, kind=info.kind.value, radix=info.radix)
+        for wire in self._wires.values():
+            g.add_edge(
+                wire.a.node,
+                wire.b.node,
+                key=wire.key,
+                port_a=wire.a.port,
+                port_b=wire.b.port,
+            )
+        return g
+
+    def copy(self) -> "Network":
+        """Deep structural copy (metadata dicts are shallow-copied)."""
+        dup = Network(default_radix=self._default_radix)
+        for name, info in self._nodes.items():
+            if info.kind is NodeKind.HOST:
+                dup.add_host(name, **info.meta)
+            else:
+                dup.add_switch(name, radix=info.radix, **info.meta)
+        for wire in self._wires.values():
+            dup.connect(wire.a.node, wire.a.port, wire.b.node, wire.b.port)
+        return dup
+
+    def induced_subnetwork(self, keep: Iterable[str]) -> "Network":
+        """The subnetwork induced on ``keep`` (wires with both ends kept)."""
+        keep_set = set(keep)
+        sub = Network(default_radix=self._default_radix)
+        for name in keep_set:
+            info = self._info(name)
+            if info.kind is NodeKind.HOST:
+                sub.add_host(name, **info.meta)
+            else:
+                sub.add_switch(name, radix=info.radix, **info.meta)
+        for wire in self._wires.values():
+            if wire.a.node in keep_set and wire.b.node in keep_set:
+                sub.connect(wire.a.node, wire.a.port, wire.b.node, wire.b.port)
+        return sub
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Network(hosts={self.n_hosts}, switches={self.n_switches}, "
+            f"wires={self.n_wires})"
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _check_fresh(self, name: str) -> None:
+        if name in self._nodes:
+            raise TopologyError(f"duplicate node name: {name}")
+
+    def _info(self, name: str) -> _NodeInfo:
+        info = self._nodes.get(name)
+        if info is None:
+            raise TopologyError(f"no such node: {name}")
+        return info
+
+    def _port_ref(self, node: str, port: int) -> PortRef:
+        info = self._info(node)
+        if not 0 <= port < info.radix:
+            raise TopologyError(
+                f"port {port} out of range for {node} (radix {info.radix})"
+            )
+        return PortRef(node, port)

@@ -1,0 +1,131 @@
+"""Rendering of network maps (Figures 4 and 5 of the paper).
+
+The paper renders automatically generated maps as layered drawings: hosts on
+top, then levels of switches with per-port fan-out. We provide two renderers:
+
+- :func:`to_dot` — Graphviz source with port-labeled record nodes, the
+  closest analogue of the paper's figures (render externally with ``dot``);
+- :func:`to_ascii` — a plain-text layered summary suitable for terminals and
+  test goldens: one line per switch listing each port's connection.
+
+Both renderers order nodes deterministically so output is diffable.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from repro.topology.model import Network
+
+__all__ = ["to_ascii", "to_dot", "to_layered_ascii", "summary_line"]
+
+
+def summary_line(net: Network) -> str:
+    """One-line component summary matching the Figure 3 vocabulary."""
+    return (
+        f"{net.n_hosts} interfaces, {net.n_switches} switches, "
+        f"{net.n_wires} links"
+    )
+
+
+def to_ascii(net: Network, *, title: str | None = None) -> str:
+    """Layered text rendering: hosts, then each switch with its port table."""
+    out = StringIO()
+    if title:
+        out.write(f"== {title} ==\n")
+    out.write(summary_line(net) + "\n")
+    hosts = sorted(net.hosts)
+    out.write("hosts: " + " ".join(hosts) + "\n")
+    for switch in sorted(net.switches):
+        cells = []
+        for port in range(net.radix(switch)):
+            far = net.neighbor_at(switch, port)
+            cells.append(f"{port}:{'-' if far is None else f'{far.node}.{far.port}'}")
+        out.write(f"{switch}  [" + " ".join(cells) + "]\n")
+    return out.getvalue()
+
+
+def to_layered_ascii(net: Network, *, title: str | None = None) -> str:
+    """Figure 4-style layered rendering: hosts on top, switch levels below.
+
+    Levels are assigned by hop distance from the hosts (leaf switches at
+    level 1, their uplink switches at level 2, ...), which reconstructs the
+    paper's drawing convention without requiring generator metadata — so it
+    works on mapper *output*, whose switches are anonymous.
+    """
+    out = StringIO()
+    if title:
+        out.write(f"== {title} ==\n")
+    out.write(summary_line(net) + "\n\n")
+
+    # Level = shortest hop distance to any host (hosts at 0).
+    level: dict[str, int] = {h: 0 for h in net.hosts}
+    frontier = sorted(net.hosts)
+    depth = 0
+    while frontier:
+        depth += 1
+        nxt: list[str] = []
+        for node in frontier:
+            for wire in net.wires_of(node):
+                for end in (wire.a, wire.b):
+                    far = wire.other_end(end).node if end.node == node else None
+                    if far is not None and far not in level:
+                        level[far] = depth
+                        nxt.append(far)
+        frontier = sorted(set(nxt))
+    unreachable = [n for n in net.nodes if n not in level]
+
+    hosts = sorted(net.hosts)
+    out.write("hosts:  " + " ".join(hosts) + "\n")
+    max_level = max((lv for lv in level.values()), default=0)
+    for lv in range(1, max_level + 1):
+        members = sorted(n for n, l in level.items() if l == lv and net.is_switch(n))
+        if not members:
+            continue
+        out.write(f"level {lv}:\n")
+        for switch in members:
+            down, lateral, up = [], [], []
+            for port in net.used_ports(switch):
+                far = net.neighbor_at(switch, port)
+                assert far is not None
+                tag = f"{far.node}"
+                far_level = level.get(far.node)
+                if far_level is None or far_level == lv:
+                    lateral.append(tag)
+                elif far_level < lv:
+                    down.append(tag)
+                else:
+                    up.append(tag)
+            parts = []
+            if down:
+                parts.append("down: " + " ".join(sorted(down)))
+            if lateral:
+                parts.append("same: " + " ".join(sorted(lateral)))
+            if up:
+                parts.append("up: " + " ".join(sorted(up)))
+            out.write(f"  {switch}  [" + " | ".join(parts) + "]\n")
+    if unreachable:
+        out.write("unreachable: " + " ".join(sorted(unreachable)) + "\n")
+    return out.getvalue()
+
+
+def to_dot(net: Network, *, title: str = "san-map") -> str:
+    """Graphviz source with record-style switches exposing port sockets."""
+    out = StringIO()
+    out.write(f'graph "{title}" {{\n')
+    out.write("  rankdir=TB;\n  node [shape=box, fontsize=10];\n")
+    for host in sorted(net.hosts):
+        out.write(f'  "{host}" [shape=ellipse];\n')
+    for switch in sorted(net.switches):
+        ports = "|".join(f"<p{p}> {p}" for p in range(net.radix(switch)))
+        out.write(f'  "{switch}" [shape=record, label="{{{switch}|{{{ports}}}}}"];\n')
+    for wire in sorted(net.wires, key=lambda w: (w.a, w.b)):
+        ends = []
+        for end in (wire.a, wire.b):
+            if net.is_switch(end.node):
+                ends.append(f'"{end.node}":p{end.port}')
+            else:
+                ends.append(f'"{end.node}"')
+        out.write(f"  {ends[0]} -- {ends[1]};\n")
+    out.write("}\n")
+    return out.getvalue()

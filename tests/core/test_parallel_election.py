@@ -1,0 +1,119 @@
+"""Master/slave timing driver and election-mode simulation tests."""
+
+import pytest
+
+from repro.core.election import election_run, election_times
+from repro.core.parallel import TimingSummary, repeated_times, timed_run
+from repro.simulator.daemons import DaemonPlacement
+from repro.topology.analysis import recommended_search_depth
+from repro.topology.isomorphism import match_networks
+
+
+class TestTimedRun:
+    def test_basic_run(self, subcluster_c, subcluster_c_depth, subcluster_c_core):
+        result = timed_run(
+            subcluster_c, "C-svc", search_depth=subcluster_c_depth
+        )
+        assert match_networks(result.network, subcluster_c_core)
+        assert result.stats.elapsed_ms > 0
+
+    def test_placement_restricts_responders(
+        self, subcluster_c, subcluster_c_depth
+    ):
+        placement = DaemonPlacement.sequential_fill(subcluster_c, 5)
+        result = timed_run(
+            subcluster_c,
+            "C-svc",
+            search_depth=subcluster_c_depth,
+            placement=placement,
+            max_explorations=200,
+        )
+        # only the 5 responders + the mapper host can appear
+        assert result.network.n_hosts <= 6
+
+    def test_fewer_responders_cost_more_time(
+        self, subcluster_c, subcluster_c_depth
+    ):
+        full = timed_run(subcluster_c, "C-svc", search_depth=subcluster_c_depth)
+        placement = DaemonPlacement.sequential_fill(subcluster_c, 3)
+        sparse = timed_run(
+            subcluster_c,
+            "C-svc",
+            search_depth=subcluster_c_depth,
+            placement=placement,
+            max_explorations=400,
+        )
+        assert sparse.stats.elapsed_ms > full.stats.elapsed_ms
+
+
+class TestRepeatedTimes:
+    def test_summary_shape(self, subcluster_c, subcluster_c_depth):
+        summary = repeated_times(
+            subcluster_c, "C-svc", search_depth=subcluster_c_depth, runs=4
+        )
+        assert isinstance(summary, TimingSummary)
+        assert summary.min_ms <= summary.avg_ms <= summary.max_ms
+        assert summary.runs == 4
+
+    def test_no_jitter_means_no_spread(self, subcluster_c, subcluster_c_depth):
+        summary = repeated_times(
+            subcluster_c,
+            "C-svc",
+            search_depth=subcluster_c_depth,
+            runs=3,
+            jitter=0.0,
+        )
+        assert summary.min_ms == summary.max_ms
+
+
+class TestElection:
+    def test_winner_is_highest_address(self, subcluster_c, subcluster_c_depth):
+        out = election_run(subcluster_c, search_depth=subcluster_c_depth, seed=0)
+        assert out.winner == sorted(subcluster_c.hosts)[-1]
+
+    def test_all_rivals_eventually_yield_or_finish(
+        self, subcluster_c, subcluster_c_depth
+    ):
+        out = election_run(subcluster_c, search_depth=subcluster_c_depth, seed=1)
+        # yields are a subset of non-winner hosts.
+        assert out.winner not in out.yield_times_ms
+        assert set(out.yield_times_ms) <= set(subcluster_c.hosts)
+
+    def test_election_slower_than_master_on_average(
+        self, subcluster_c, subcluster_c_depth
+    ):
+        master = repeated_times(
+            subcluster_c, "C-svc", search_depth=subcluster_c_depth, runs=4
+        )
+        election = election_times(
+            subcluster_c, search_depth=subcluster_c_depth, runs=4
+        )
+        assert election.avg_ms > master.avg_ms
+
+    def test_deterministic_per_seed(self, subcluster_c, subcluster_c_depth):
+        a = election_run(subcluster_c, search_depth=subcluster_c_depth, seed=7)
+        b = election_run(subcluster_c, search_depth=subcluster_c_depth, seed=7)
+        assert a.elapsed_ms == b.elapsed_ms
+
+    def test_seed_changes_outcome(self, subcluster_c, subcluster_c_depth):
+        a = election_run(subcluster_c, search_depth=subcluster_c_depth, seed=1)
+        b = election_run(subcluster_c, search_depth=subcluster_c_depth, seed=2)
+        assert a.elapsed_ms != b.elapsed_ms
+
+    def test_subset_participants(self, subcluster_c, subcluster_c_depth):
+        hosts = sorted(subcluster_c.hosts)[:10]
+        out = election_run(
+            subcluster_c,
+            search_depth=subcluster_c_depth,
+            participants=hosts,
+            seed=0,
+        )
+        assert out.winner == hosts[-1]
+
+    def test_requires_participants(self, subcluster_c, subcluster_c_depth):
+        with pytest.raises(ValueError):
+            election_run(
+                subcluster_c,
+                search_depth=subcluster_c_depth,
+                participants=[],
+            )

@@ -1,0 +1,148 @@
+"""Experiment-harness tests: every figure's run() produces sane rows, and
+the headline paper claims hold in our reproduction."""
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    crosstraffic_ext,
+    parallel_ext,
+    routing_quality,
+    fig3_components,
+    fig4_subcluster_map,
+    fig6_probe_counts,
+    fig8_model_growth,
+    fig9_responders,
+    fig10_myricom,
+    routing_study,
+)
+from repro.experiments.common import PAPER, system
+
+
+class TestFixtures:
+    def test_system_cached(self):
+        assert system("C") is system("C")
+
+    def test_system_fields(self):
+        fx = system("C")
+        assert fx.mapper_host == "C-svc"
+        assert fx.search_depth == fx.q + fx.diameter + 1
+        assert fx.core.n_switches == 13
+
+    def test_unknown_system(self):
+        with pytest.raises(ValueError):
+            system("Z")
+
+
+class TestFig3:
+    def test_all_rows_match_paper(self):
+        rows = fig3_components.run()
+        assert len(rows) == 3
+        assert all(r.matches_paper for r in rows)
+
+
+class TestFig4:
+    def test_map_verified(self):
+        exp = fig4_subcluster_map.run("C")
+        assert exp.verification.isomorphic
+        assert "C-svc" in exp.ascii_map
+        assert exp.dot_source.startswith("graph")
+
+
+class TestFig6:
+    def test_counts_scale_superlinearly(self):
+        rows = fig6_probe_counts.run()
+        assert [r.system for r in rows] == ["C", "C+A", "C+A+B"]
+        assert all(r.map_correct for r in rows)
+        totals = [r.host_probes + r.switch_probes for r in rows]
+        assert totals[0] < totals[1] < totals[2]
+        # Paper shape: host-hit ratio degrades with size; switch probes
+        # outnumber host probes under switch-first pairing.
+        assert rows[0].host_ratio > rows[2].host_ratio
+        assert all(r.switch_probes > r.host_probes for r in rows)
+
+
+class TestFig8:
+    def test_growth_headlines(self):
+        exp = fig8_model_growth.run("C")
+        assert exp.final_nodes == exp.actual_nodes == 49
+        assert exp.peak_nodes > exp.final_nodes
+        assert exp.samples[-1].n_frontier == 0
+        text = fig8_model_growth.render_series(exp.samples, every=10)
+        assert "exploration" in text
+
+
+class TestFig9:
+    def test_speedup_shape(self):
+        points = fig9_responders.run(
+            "C", counts=(1, 5, 20, 36), max_explorations=300
+        )
+        seq = {p.n_responders: p for p in points if p.placement == "sequential"}
+        assert seq[1].elapsed_ms > seq[36].elapsed_ms
+        speedup = seq[1].elapsed_ms / seq[36].elapsed_ms
+        assert speedup > 2.0  # ~8x on the full system; smaller on C alone
+
+
+class TestFig10:
+    def test_myricom_ratios(self):
+        rows = fig10_myricom.run(systems=("C",))
+        row = rows[0]
+        assert row.myricom_correct
+        assert 2.0 <= row.msg_ratio <= 8.0  # paper: 3.2x
+        assert 2.0 <= row.time_ratio <= 9.0  # paper: 5.5x
+        assert row.breakdown.total == (
+            row.breakdown.loop
+            + row.breakdown.host
+            + row.breakdown.switch
+            + row.breakdown.compare
+        )
+
+
+class TestRoutingStudy:
+    def test_full_pipeline_on_c(self):
+        rows = routing_study.run(systems=("C",))
+        row = rows[0]
+        assert row.deadlock_free
+        assert row.routes == row.host_pairs
+        assert row.routes_valid_on_actual == row.routes
+        assert row.distribution_ok
+
+
+class TestAblations:
+    def test_ablation_table_on_c(self):
+        rows = ablations.run("C")
+        by_name = {r.variant: r for r in rows}
+        assert by_name["planner: heuristic"].probes < by_name["planner: naive"].probes
+        assert by_name["self-identifying switches"].probes < (
+            by_name["planner: heuristic"].probes
+        )
+        assert all(r.correct for r in rows)
+
+
+class TestCrossTrafficExt:
+    def test_clean_point_correct(self):
+        points = crosstraffic_ext.run("C", rates=(0.0,), retries=(0,))
+        assert points[0].correct and points[0].completeness == 1.0
+
+
+class TestRoutingQuality:
+    def test_quality_claims(self):
+        rows = routing_quality.run()
+        by_name = {r.topology: r for r in rows}
+        assert by_name["NOW subcluster C"].root_congestion < 1.0
+        assert by_name["6-switch ring"].root_congestion > 1.0
+        assert by_name["diamond (relabel on)"].relabeled == 1
+
+    def test_spread_uses_multiple_cables(self):
+        spread = routing_quality.spread_demo()
+        ((_pair, counts),) = spread.items()
+        assert sum(1 for c in counts if c > 0) >= 2
+
+
+class TestParallelExt:
+    def test_parallel_beats_single_on_wall_clock(self):
+        rows = parallel_ext.run("C", stride=5, local_depth=6,
+                                max_explorations=80)
+        single, parallel = rows
+        assert single.complete
+        assert parallel.probes > single.probes

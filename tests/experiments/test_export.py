@@ -1,0 +1,58 @@
+"""CSV export tests."""
+
+import csv
+from dataclasses import dataclass
+
+import pytest
+
+from repro.experiments.export import export_csv
+
+
+@dataclass(frozen=True)
+class _Row:
+    name: str
+    value: int
+    ratio: float
+
+
+class TestExportCsv:
+    def test_dataclass_rows(self, tmp_path):
+        path = export_csv(
+            [_Row("a", 1, 0.5), _Row("b", 2, 1.5)], tmp_path / "out.csv"
+        )
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert rows[0] == {"name": "a", "value": "1", "ratio": "0.5"}
+        assert len(rows) == 2
+
+    def test_dict_rows(self, tmp_path):
+        path = export_csv(
+            [{"x": 1, "y": 2}, {"x": 3, "y": 4}], tmp_path / "d.csv"
+        )
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert rows[1]["y"] == "4"
+
+    def test_empty_rows(self, tmp_path):
+        path = export_csv([], tmp_path / "empty.csv")
+        assert path.read_text() == ""
+
+    def test_rejects_other_types(self, tmp_path):
+        with pytest.raises(TypeError):
+            export_csv([(1, 2)], tmp_path / "bad.csv")
+
+    def test_nested_dirs_created(self, tmp_path):
+        path = export_csv([{"a": 1}], tmp_path / "deep" / "dir" / "f.csv")
+        assert path.exists()
+
+    def test_growth_samples_exportable(self, mapped_c, tmp_path):
+        path = export_csv(mapped_c.growth, tmp_path / "growth.csv")
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == len(mapped_c.growth)
+        assert set(rows[0]) == {
+            "exploration",
+            "n_nodes",
+            "n_edges",
+            "n_frontier",
+        }

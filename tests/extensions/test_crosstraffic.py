@@ -1,0 +1,88 @@
+"""Cross-traffic extension tests (Section 6 open problem)."""
+
+import pytest
+
+from repro.core.mapper import BerkeleyMapper
+from repro.extensions.crosstraffic import (
+    CrossTrafficProbeService,
+    RetryingProbeService,
+    crosstraffic_study,
+)
+from repro.simulator.quiescent import QuiescentProbeService
+from repro.topology.analysis import recommended_search_depth
+from repro.topology.isomorphism import match_networks
+
+
+class TestTrafficService:
+    def test_zero_rate_identical_to_quiescent(self, ring_net):
+        depth = recommended_search_depth(ring_net, "h0")
+        svc_t = CrossTrafficProbeService(ring_net, "h0", rate_msgs_per_ms=0.0)
+        svc_q = QuiescentProbeService(ring_net, "h0")
+        a = BerkeleyMapper(svc_t, search_depth=depth, host_first=False).run()
+        b = BerkeleyMapper(svc_q, search_depth=depth, host_first=False).run()
+        assert a.stats.total_probes == b.stats.total_probes
+        assert svc_t.probes_lost_to_traffic == 0
+
+    def test_heavy_traffic_loses_probes(self, ring_net):
+        depth = recommended_search_depth(ring_net, "h0")
+        svc = CrossTrafficProbeService(
+            ring_net, "h0", rate_msgs_per_ms=200.0, traffic_seed=3
+        )
+        BerkeleyMapper(svc, search_depth=depth, host_first=False).run()
+        assert svc.probes_lost_to_traffic > 0
+
+    def test_losses_never_corrupt_only_omit(self, ring_net):
+        """Deductions are sound: the produced map embeds in the truth."""
+        depth = recommended_search_depth(ring_net, "h0")
+        svc = CrossTrafficProbeService(
+            ring_net, "h0", rate_msgs_per_ms=150.0, traffic_seed=5
+        )
+        result = BerkeleyMapper(svc, search_depth=depth, host_first=False).run()
+        produced = result.network
+        assert produced.n_hosts <= ring_net.n_hosts
+        assert produced.n_switches <= ring_net.n_switches
+        assert produced.n_wires <= ring_net.n_wires
+        assert set(produced.hosts) <= set(ring_net.hosts)
+
+
+class TestRetries:
+    def test_retry_service_counts_all_attempts(self, tiny_net):
+        svc = RetryingProbeService(
+            QuiescentProbeService(tiny_net, "h0"), retries=2
+        )
+        assert svc.probe_host((2,)) is None  # structural miss: 3 attempts
+        assert svc.stats.host_probes == 3
+        assert svc.probe_host((3,)) == "h1"  # hit: 1 attempt
+        assert svc.stats.host_probes == 4
+
+    def test_negative_retries_rejected(self, tiny_net):
+        with pytest.raises(ValueError):
+            RetryingProbeService(QuiescentProbeService(tiny_net, "h0"), retries=-1)
+
+
+class TestStudy:
+    def test_study_shape_and_clean_baseline(self, ring_net):
+        points = crosstraffic_study(
+            ring_net,
+            "h0",
+            search_depth=recommended_search_depth(ring_net, "h0"),
+            rates=(0.0, 100.0),
+            retries=(0,),
+        )
+        assert len(points) == 2
+        clean, heavy = points
+        assert clean.correct and clean.completeness == 1.0
+        assert heavy.completeness <= 1.0
+        assert heavy.probes_lost >= clean.probes_lost == 0
+
+    def test_retries_recover_completeness(self, ring_net):
+        points = crosstraffic_study(
+            ring_net,
+            "h0",
+            search_depth=recommended_search_depth(ring_net, "h0"),
+            rates=(120.0,),
+            retries=(0, 3),
+            seed=2,
+        )
+        no_retry, with_retry = points
+        assert with_retry.completeness >= no_retry.completeness

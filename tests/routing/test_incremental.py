@@ -1,0 +1,100 @@
+"""Incremental route distribution tests."""
+
+import pytest
+
+from repro.routing.compile_routes import compile_route_tables
+from repro.routing.distribute import distribute_routes
+from repro.routing.incremental import diff_route_tables, distribute_incremental
+from repro.routing.paths import all_pairs_updown_paths
+from repro.routing.updown import orient_updown
+from repro.topology.builder import NetworkBuilder
+
+
+def _tables(net, seed=0):
+    ori = orient_updown(net)
+    paths = all_pairs_updown_paths(net, ori)
+    return compile_route_tables(net, paths, orientation=ori, seed=seed)
+
+
+@pytest.fixture()
+def evolving_net():
+    b = NetworkBuilder()
+    b.switches("s0", "s1")
+    b.hosts("h0", "h1", "h2")
+    b.attach("h0", "s0", port=0)
+    b.attach("h1", "s0", port=1)
+    b.attach("h2", "s1", port=0)
+    b.link("s0", "s1", port_a=5, port_b=3)
+    return b.build()
+
+
+class TestDiff:
+    def test_no_change_is_empty(self, evolving_net):
+        tables = _tables(evolving_net)
+        deltas = diff_route_tables(tables, tables)
+        assert all(d.empty for d in deltas.values())
+
+    def test_everything_new_on_first_generation(self, evolving_net):
+        tables = _tables(evolving_net)
+        deltas = diff_route_tables(None, tables)
+        for host, delta in deltas.items():
+            assert len(delta.added) == len(tables[host].routes)
+            assert not delta.changed and not delta.withdrawn
+
+    def test_new_host_appears_in_everyones_delta(self, evolving_net):
+        before = _tables(evolving_net)
+        evolving_net.add_host("h3")
+        evolving_net.connect("h3", 0, "s1", 1)
+        after = _tables(evolving_net)
+        deltas = diff_route_tables(before, after)
+        # Existing hosts gain exactly the route to h3 (the topology is
+        # otherwise unchanged, so no other routes change).
+        for host in ("h0", "h1", "h2"):
+            assert "h3" in deltas[host].added
+        assert len(deltas["h3"].added) == 3  # full table for the newcomer
+
+    def test_departed_host_withdrawn(self, evolving_net):
+        before = _tables(evolving_net)
+        evolving_net.remove_node("h2")
+        after = _tables(evolving_net)
+        deltas = diff_route_tables(before, after)
+        assert "h2" in deltas["h0"].withdrawn
+        assert "h2" not in deltas  # nothing to send to a departed host
+
+    def test_rerouted_pair_marked_changed(self, evolving_net):
+        before = _tables(evolving_net)
+        # Move the inter-switch cable: same connectivity, new turns.
+        wire = evolving_net.wire_at("s0", 5)
+        evolving_net.disconnect(wire)
+        evolving_net.connect("s0", 7, "s1", 2)
+        after = _tables(evolving_net)
+        deltas = diff_route_tables(before, after)
+        assert deltas["h0"].changed  # route to h2 has a new turn string
+
+
+class TestIncrementalDistribution:
+    def test_steady_state_costs_nothing(self, evolving_net):
+        tables = _tables(evolving_net)
+        report = distribute_incremental(
+            evolving_net, "h0", tables, tables
+        )
+        assert report.ok
+        assert report.bytes_sent == 0
+
+    def test_cheaper_than_full_redistribution(self, evolving_net):
+        before = _tables(evolving_net)
+        evolving_net.add_host("h3")
+        evolving_net.connect("h3", 0, "s1", 1)
+        after = _tables(evolving_net)
+        full = distribute_routes(evolving_net, "h0", after)
+        incremental = distribute_incremental(
+            evolving_net, "h0", after, before
+        )
+        assert incremental.ok
+        assert incremental.bytes_sent < full.bytes_sent
+
+    def test_first_generation_equals_full(self, evolving_net):
+        tables = _tables(evolving_net)
+        full = distribute_routes(evolving_net, "h0", tables)
+        incremental = distribute_incremental(evolving_net, "h0", tables, None)
+        assert incremental.bytes_sent == full.bytes_sent

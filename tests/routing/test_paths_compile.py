@@ -1,0 +1,127 @@
+"""Compliant-path computation and route compilation tests."""
+
+import random
+
+import pytest
+
+from repro.routing.compile_routes import compile_route_tables, path_to_turns
+from repro.routing.paths import all_pairs_updown_paths, bfs_updown_lengths
+from repro.routing.updown import orient_updown
+from repro.simulator.path_eval import PathStatus, evaluate_route
+from repro.topology.generators import build_hypercube, build_mesh, build_ring
+
+
+class TestDistances:
+    def test_fw_matches_bfs_cross_check(self, ring_net):
+        ori = orient_updown(ring_net)
+        paths = all_pairs_updown_paths(ring_net, ori)
+        for src in ring_net.hosts:
+            bfs = bfs_updown_lengths(ring_net, ori, src)
+            for dst in ring_net.nodes:
+                assert paths.distance(src, dst) == bfs.get(dst), (src, dst)
+
+    @pytest.mark.parametrize(
+        "net_builder",
+        [
+            lambda: build_ring(5, hosts_per_switch=1),
+            lambda: build_mesh(3, 3, hosts_per_switch=1),
+            lambda: build_hypercube(3, hosts_per_switch=1),
+        ],
+    )
+    def test_fw_matches_bfs_on_regular_topologies(self, net_builder):
+        net = net_builder()
+        ori = orient_updown(net)
+        paths = all_pairs_updown_paths(net, ori)
+        hosts = sorted(net.hosts)[:4]
+        for src in hosts:
+            bfs = bfs_updown_lengths(net, ori, src)
+            for dst in hosts:
+                assert paths.distance(src, dst) == bfs.get(dst)
+
+    def test_compliant_at_least_shortest(self, ring_net):
+        """Turn restriction can only lengthen paths, never shorten them."""
+        import networkx as nx
+
+        g = nx.Graph(ring_net.to_networkx())
+        ori = orient_updown(ring_net)
+        paths = all_pairs_updown_paths(ring_net, ori)
+        for src in ring_net.hosts:
+            plain = nx.single_source_shortest_path_length(g, src)
+            for dst in ring_net.hosts:
+                d = paths.distance(src, dst)
+                assert d is not None
+                assert d >= plain[dst]
+
+    def test_self_distance_zero(self, ring_net):
+        ori = orient_updown(ring_net)
+        paths = all_pairs_updown_paths(ring_net, ori)
+        assert paths.distance("h0", "h0") == 0
+
+
+class TestNodePaths:
+    def test_path_endpoints(self, ring_net):
+        ori = orient_updown(ring_net)
+        paths = all_pairs_updown_paths(ring_net, ori)
+        p = paths.node_path("h0", "h2")
+        assert p[0] == "h0" and p[-1] == "h2"
+        assert len(p) - 1 == paths.distance("h0", "h2")
+
+    def test_paths_are_updown_compliant(self, ring_net):
+        ori = orient_updown(ring_net)
+        paths = all_pairs_updown_paths(ring_net, ori)
+        for src in ring_net.hosts:
+            for dst in ring_net.hosts:
+                if src == dst:
+                    continue
+                p = paths.node_path(src, dst)
+                went_down = False
+                for u, v in zip(p, p[1:]):
+                    if ori.is_up(u, v):
+                        assert not went_down, f"down->up turn in {p}"
+                    else:
+                        went_down = True
+
+
+class TestCompilation:
+    def test_turns_deliver_on_network(self, ring_net):
+        ori = orient_updown(ring_net)
+        paths = all_pairs_updown_paths(ring_net, ori)
+        tables = compile_route_tables(ring_net, paths, orientation=ori)
+        for table in tables.values():
+            for dst, route in table.routes.items():
+                out = evaluate_route(ring_net, table.host, route.turns)
+                assert out.status is PathStatus.DELIVERED
+                assert out.delivered_to == dst
+
+    def test_turn_count_is_switch_count(self, ring_net):
+        ori = orient_updown(ring_net)
+        paths = all_pairs_updown_paths(ring_net, ori)
+        p = paths.node_path("h0", "h1")
+        route = path_to_turns(ring_net, p)
+        assert len(route.turns) == len(p) - 2  # one turn per switch
+
+    def test_parallel_wire_choice_is_seeded(self, two_switch_net):
+        ori = orient_updown(two_switch_net)
+        paths = all_pairs_updown_paths(two_switch_net, ori)
+        a = compile_route_tables(two_switch_net, paths, orientation=ori, seed=1)
+        b = compile_route_tables(two_switch_net, paths, orientation=ori, seed=1)
+        assert all(
+            a[h].routes[d].turns == b[h].routes[d].turns
+            for h in a
+            for d in a[h].routes
+        )
+
+    def test_route_table_len(self, ring_net):
+        ori = orient_updown(ring_net)
+        paths = all_pairs_updown_paths(ring_net, ori)
+        tables = compile_route_tables(ring_net, paths, orientation=ori)
+        for table in tables.values():
+            assert len(table) == len(ring_net.hosts) - 1
+
+    def test_rejects_trivial_path(self, ring_net):
+        with pytest.raises(ValueError):
+            path_to_turns(ring_net, ["h0"])
+
+    def test_rejects_switch_endpoints(self, ring_net):
+        with pytest.raises(ValueError):
+            path_to_turns(ring_net, ["s0", "s1"])

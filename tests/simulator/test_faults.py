@@ -1,0 +1,82 @@
+"""Fault-model tests: probe loss, corruption, dead wires."""
+
+import pytest
+
+from repro.core.mapper import BerkeleyMapper
+from repro.simulator.faults import NO_FAULTS, FaultModel
+from repro.simulator.path_eval import evaluate_route
+from repro.simulator.quiescent import QuiescentProbeService
+from repro.topology.analysis import recommended_search_depth
+
+
+class TestFaultModel:
+    def test_inactive_by_default(self):
+        assert not FaultModel().active
+        assert not NO_FAULTS.active
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            FaultModel(drop_prob=1.5)
+        with pytest.raises(ValueError):
+            FaultModel(corrupt_prob=-0.1)
+
+    def test_drop_prob_statistics(self, tiny_net):
+        faults = FaultModel(drop_prob=0.5, seed=42)
+        path = evaluate_route(tiny_net, "h0", (3,))
+        kills = sum(faults.kills_probe(path) for _ in range(400))
+        assert 140 < kills < 260  # ~50%
+
+    def test_corrupt_prob_also_kills(self, tiny_net):
+        faults = FaultModel(corrupt_prob=1.0)
+        path = evaluate_route(tiny_net, "h0", (3,))
+        assert faults.kills_probe(path)
+
+    def test_deterministic_per_seed(self, tiny_net):
+        path = evaluate_route(tiny_net, "h0", (3,))
+
+        def seq(seed):
+            f = FaultModel(drop_prob=0.3, seed=seed)
+            return [f.kills_probe(path) for _ in range(50)]
+
+        assert seq(7) == seq(7)
+        assert seq(7) != seq(8)
+
+    def test_dead_wire_only_affects_crossing_probes(self, two_switch_net):
+        wire = two_switch_net.wire_at("s0", 4)
+        faults = FaultModel(
+            dead_wires=frozenset({frozenset((wire.a, wire.b))})
+        )
+        crossing = evaluate_route(two_switch_net, "h0", (4, 4))  # uses it
+        local = evaluate_route(two_switch_net, "h0", (1,))  # does not
+        assert faults.kills_probe(crossing)
+        assert not faults.kills_probe(local)
+
+
+class TestMappingUnderFaults:
+    def test_dead_link_hides_structure_but_stays_sound(self, ring_net):
+        """A silently dead cable makes part of the network unreachable via
+        that path; the ring's redundancy keeps everything mappable."""
+        wire = next(
+            w
+            for w in ring_net.wires
+            if ring_net.is_switch(w.a.node) and ring_net.is_switch(w.b.node)
+        )
+        faults = FaultModel(dead_wires=frozenset({frozenset((wire.a, wire.b))}))
+        depth = recommended_search_depth(ring_net, "h0")
+        svc = QuiescentProbeService(ring_net, "h0", faults=faults)
+        result = BerkeleyMapper(svc, search_depth=depth, host_first=False).run()
+        produced = result.network
+        # The dead cable is missing from the map; everything else survives.
+        assert produced.n_wires == ring_net.n_wires - 1
+        assert set(produced.hosts) == set(ring_net.hosts)
+
+    def test_random_loss_degrades_gracefully(self, ring_net):
+        depth = recommended_search_depth(ring_net, "h0")
+        svc = QuiescentProbeService(
+            ring_net, "h0", faults=FaultModel(drop_prob=0.2, seed=3)
+        )
+        result = BerkeleyMapper(svc, search_depth=depth, host_first=False).run()
+        produced = result.network
+        assert set(produced.hosts) <= set(ring_net.hosts)
+        assert produced.n_switches <= ring_net.n_switches
+        assert produced.n_wires <= ring_net.n_wires

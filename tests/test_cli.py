@@ -1,0 +1,116 @@
+"""CLI tests: the generate → analyze → map → routes lifecycle."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.topology.serialize import load_network
+
+
+@pytest.fixture()
+def ring_json(tmp_path):
+    path = tmp_path / "ring.json"
+    assert main(["generate", "--topology", "ring", "--size", "4",
+                 "--out", str(path)]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_generate_now_c(self, tmp_path):
+        out = tmp_path / "c.json"
+        assert main(["generate", "--topology", "now-c", "--out", str(out)]) == 0
+        net = load_network(out)
+        assert (net.n_hosts, net.n_switches, net.n_wires) == (36, 13, 64)
+
+    @pytest.mark.parametrize(
+        "topology", ["chain", "mesh", "torus", "hypercube", "random"]
+    )
+    def test_generate_variants(self, tmp_path, topology):
+        out = tmp_path / f"{topology}.json"
+        assert main(["generate", "--topology", topology, "--size", "3",
+                     "--out", str(out)]) == 0
+        assert load_network(out).n_switches >= 1
+
+
+class TestAnalyze(object):
+    def test_analyze_prints_decomposition(self, ring_json, capsys):
+        assert main(["analyze", "--network", str(ring_json)]) == 0
+        out = capsys.readouterr().out
+        assert "diameter D" in out
+        assert "search depth" in out
+
+
+class TestMapCommand:
+    def test_map_verifies_and_writes(self, ring_json, tmp_path, capsys):
+        out = tmp_path / "map.json"
+        code = main(["map", "--network", str(ring_json), "--out", str(out)])
+        assert code == 0
+        assert "isomorphic" in capsys.readouterr().out
+        assert load_network(out).n_switches == 4
+
+    @pytest.mark.parametrize("algorithm", ["myricom", "selfid"])
+    def test_alternative_algorithms(self, ring_json, algorithm):
+        assert main(["map", "--network", str(ring_json),
+                     "--algorithm", algorithm]) == 0
+
+    def test_render_flag(self, ring_json, capsys):
+        main(["map", "--network", str(ring_json), "--render"])
+        assert "interfaces" in capsys.readouterr().out
+
+
+class TestRoutesCommand:
+    def test_routes_roundtrip(self, ring_json, tmp_path):
+        map_path = tmp_path / "map.json"
+        main(["map", "--network", str(ring_json), "--out", str(map_path)])
+        routes_path = tmp_path / "routes.json"
+        code = main([
+            "routes",
+            "--map", str(map_path),
+            "--verify-against", str(ring_json),
+            "--out", str(routes_path),
+        ])
+        assert code == 0
+        doc = json.loads(routes_path.read_text())
+        hosts = set(load_network(ring_json).hosts)
+        assert set(doc) == hosts
+        for host, table in doc.items():
+            assert set(table) == hosts - {host}
+
+
+class TestLashScheme:
+    def test_lash_routes(self, ring_json, tmp_path, capsys):
+        map_path = tmp_path / "map.json"
+        main(["map", "--network", str(ring_json), "--out", str(map_path)])
+        code = main([
+            "routes",
+            "--map", str(map_path),
+            "--scheme", "lash",
+            "--verify-against", str(ring_json),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "LASH layers" in out
+        assert "deadlock-free: True" in out
+
+
+class TestExperimentCommand:
+    def test_fig3(self, capsys):
+        assert main(["experiment", "fig3"]) == 0
+        assert "Figure 3" in capsys.readouterr().out
+
+
+class TestExportData:
+    @pytest.mark.slow
+    def test_writes_figure_series(self, tmp_path):
+        """Runs the real Figure 8/9 sweeps; verifies files and headers."""
+        import csv
+
+        code = main(["export-data", "--out", str(tmp_path)])
+        assert code == 0
+        growth = tmp_path / "fig8_growth.csv"
+        responders = tmp_path / "fig9_responders.csv"
+        assert growth.exists() and responders.exists()
+        with growth.open() as fh:
+            header = next(csv.reader(fh))
+        assert header == ["exploration", "n_nodes", "n_edges", "n_frontier"]

@@ -1,0 +1,67 @@
+"""Cut-capacity analysis tests."""
+
+import pytest
+
+from repro.topology.builder import NetworkBuilder
+from repro.topology.capacity import (
+    bisection_links,
+    host_cut_capacity,
+    subcluster_cut,
+)
+from repro.topology.generators import combine_subclusters
+
+
+class TestHostCut:
+    def test_single_switch_limited_by_host_links(self, tiny_net):
+        # Each host has one wire; flow between {h0} and {h1} is 1.
+        assert host_cut_capacity(tiny_net, {"h0"}, {"h1"}) == 1
+        assert host_cut_capacity(tiny_net, {"h0", "h1"}, {"h2"}) == 1
+        assert host_cut_capacity(tiny_net, {"h0"}, {"h1", "h2"}) == 1
+
+    def test_parallel_wires_add_capacity(self, two_switch_net):
+        # Two hosts each side, two cross cables: flow limited by min(2,2,2).
+        cut = host_cut_capacity(two_switch_net, {"h0", "h1"}, {"h2", "h3"})
+        assert cut == 2
+
+    def test_bottleneck_cable(self):
+        b = NetworkBuilder()
+        b.switches("s0", "s1")
+        for i in range(4):
+            b.host(f"h{i}")
+        b.attach("h0", "s0")
+        b.attach("h1", "s0")
+        b.attach("h2", "s1")
+        b.attach("h3", "s1")
+        b.link("s0", "s1")  # single cable: the bottleneck
+        net = b.build()
+        assert host_cut_capacity(net, {"h0", "h1"}, {"h2", "h3"}) == 1
+
+    def test_input_validation(self, tiny_net):
+        with pytest.raises(ValueError):
+            host_cut_capacity(tiny_net, set(), {"h1"})
+        with pytest.raises(ValueError):
+            host_cut_capacity(tiny_net, {"h0"}, {"h0"})
+        with pytest.raises(ValueError):
+            host_cut_capacity(tiny_net, {"s0"}, {"h1"})
+
+
+class TestNowComposition:
+    def test_two_cross_cables_between_subclusters(self):
+        """The composition installs two inter-root cables; the
+        inter-subcluster cut must be exactly 2."""
+        net = combine_subclusters("C", "A")
+        assert subcluster_cut(net, "C", "A") == 2
+
+    def test_extra_root_cable_raises_the_cut(self):
+        """Figure 5's caption: more root links -> more simultaneously
+        usable routes between subclusters."""
+        net = combine_subclusters("C", "A")
+        before = subcluster_cut(net, "C", "A")
+        # A strategically placed cable or two (Section 5.5's phrase).
+        free_c = net.free_ports("C-root-1")[0]
+        free_a = net.free_ports("A-root-1")[0]
+        net.connect("C-root-1", free_c, "A-root-1", free_a)
+        assert subcluster_cut(net, "C", "A") == before + 1
+
+    def test_bisection_default_partition(self, two_switch_net):
+        assert bisection_links(two_switch_net) >= 1

@@ -1,0 +1,65 @@
+"""Isomorphism fallback paths: host-free switch clusters need backtracking.
+
+Host-anchored propagation covers every switch on a path between hosts; a
+network that still contains its F region (host-free switch clusters behind
+switch-bridges) exercises the exhaustive-assignment fallback.
+"""
+
+from repro.topology.builder import NetworkBuilder
+from repro.topology.isomorphism import match_networks
+
+
+def _with_pendant(pendant_ports=(0, 3), tail_port=5):
+    """Core (one switch, two hosts) plus a host-free two-switch pendant."""
+    b = NetworkBuilder()
+    b.switches("core", "f0", "f1")
+    b.hosts("h0", "h1")
+    b.attach("h0", "core", port=0)
+    b.attach("h1", "core", port=1)
+    b.link("core", "f0", port_a=6, port_b=pendant_ports[0])
+    b.link("f0", "f1", port_a=pendant_ports[1], port_b=tail_port)
+    return b.build()
+
+
+class TestBacktracking:
+    def test_identical_pendants_match(self):
+        assert match_networks(_with_pendant(), _with_pendant())
+
+    def test_pendant_port_offsets_tolerated(self):
+        a = _with_pendant(pendant_ports=(0, 3), tail_port=5)
+        b = _with_pendant(pendant_ports=(2, 5), tail_port=1)
+        report = match_networks(a, b)
+        assert report, report.reason
+
+    def test_pendant_spacing_mismatch_rejected(self):
+        a = _with_pendant(pendant_ports=(0, 3))
+        # Spacing between the two f0 ports differs (3 vs 4): no offset fits.
+        b = _with_pendant(pendant_ports=(0, 4))
+        assert not match_networks(a, b)
+
+    def test_pendant_length_mismatch_rejected(self):
+        a = _with_pendant()
+        b = NetworkBuilder()
+        b.switches("core", "f0", "fX")
+        b.hosts("h0", "h1")
+        b.attach("h0", "core", port=0)
+        b.attach("h1", "core", port=1)
+        b.link("core", "f0", port_a=6, port_b=0)
+        b.link("core", "fX", port_a=7, port_b=0)  # star, not chain
+        assert not match_networks(a, b.build())
+
+    def test_two_identical_pendants_permuted(self):
+        """Two interchangeable host-free pendants: the matcher must find
+        the permutation."""
+
+        def build(order):
+            b = NetworkBuilder()
+            b.switches("core", *order)
+            b.hosts("h0", "h1")
+            b.attach("h0", "core", port=0)
+            b.attach("h1", "core", port=1)
+            b.link("core", order[0], port_a=6, port_b=2)
+            b.link("core", order[1], port_a=7, port_b=2)
+            return b.build()
+
+        assert match_networks(build(("p", "q")), build(("q", "p")))
