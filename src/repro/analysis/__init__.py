@@ -1,0 +1,30 @@
+"""``sanlint`` — domain-aware static analysis for the reproduction.
+
+The Berkeley algorithm's correctness argument (Section 3) assumes things
+the code can only honour by discipline: deterministic lockstep simulation,
+seeded RNGs everywhere, relative non-modular port arithmetic staying in
+``[0, radix)``, and all network observation flowing through
+:class:`~repro.simulator.probes.ProbeService`. This package makes those
+substrate guarantees machine-checked:
+
+- :mod:`repro.analysis.rules` — the SAN001-SAN008 rule set;
+- :mod:`repro.analysis.engine` — parsing, ``# sanlint: disable=...``
+  suppression, reporting;
+- :mod:`repro.analysis.cli` — the ``san-lint`` console script;
+- ``tests/analysis/test_codebase_clean.py`` — lints ``src/repro`` on every
+  pytest run, so a violating change fails tier-1.
+"""
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.engine import lint_paths, lint_source, render_report
+from repro.analysis.registry import all_rule_ids, get_rule, iter_rules
+
+__all__ = [
+    "Diagnostic",
+    "all_rule_ids",
+    "get_rule",
+    "iter_rules",
+    "lint_paths",
+    "lint_source",
+    "render_report",
+]

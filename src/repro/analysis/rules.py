@@ -1,0 +1,535 @@
+"""The SAN rule set: domain invariants of the mapping reproduction.
+
+Each rule enforces one assumption the paper's correctness argument rests
+on (Sections 2-3) or one engineering discipline the simulator substrate
+needs to stay deterministic and replayable. See ``docs/STATIC_ANALYSIS.md``
+for the full rationale of every rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.engine import ModuleInfo
+from repro.analysis.registry import Rule, register
+
+__all__ = [
+    "NoWallClock",
+    "NoUnseededRng",
+    "NoFloatTimingEquality",
+    "PortLiteralInRange",
+    "SchedulerStateEncapsulation",
+    "NoSilentBroadExcept",
+    "ProbeConstructionViaService",
+    "NoMutableDefaults",
+]
+
+#: Switch radix of the paper's Myrinet fabric; port indices live in [0, 8).
+DEFAULT_RADIX = 8
+
+#: Packages whose code runs under the simulated clock (SAN001, SAN005).
+SIMULATED_TIME_PACKAGES = ("repro.simulator", "repro.core")
+
+
+def _call_name(node: ast.Call) -> str | None:
+    """Terminal identifier of the called object (``Foo`` for ``a.b.Foo()``)."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """``a.b.c`` for a pure Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@register
+class NoWallClock(Rule):
+    rule_id = "SAN001"
+    title = "no wall-clock reads in simulator/core hot paths"
+    rationale = (
+        "Mapping time is *simulated* time: the lockstep scheduler and the "
+        "event queue define `now`. A wall-clock read in repro.simulator or "
+        "repro.core couples results to host speed and destroys "
+        "byte-for-byte replayability of Figure 7/9 runs."
+    )
+    hint = (
+        "use the simulated clock (EventQueue.now / LockstepScheduler.now / "
+        "ProbeStats.elapsed_us) instead of the host's wall clock"
+    )
+
+    _TIME_FNS = frozenset(
+        {
+            "time",
+            "monotonic",
+            "perf_counter",
+            "process_time",
+            "time_ns",
+            "monotonic_ns",
+            "perf_counter_ns",
+            "process_time_ns",
+        }
+    )
+    _DATETIME_FNS = frozenset({"now", "utcnow", "today"})
+
+    def check(self, module: ModuleInfo) -> Iterator[Diagnostic]:
+        if not module.in_package(*SIMULATED_TIME_PACKAGES):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in self._TIME_FNS:
+                        yield self.diag(
+                            module,
+                            node,
+                            f"wall-clock import `from time import {alias.name}` "
+                            "in simulated-time code",
+                        )
+            elif isinstance(node, ast.Call):
+                dotted = _dotted(node.func)
+                if dotted is None:
+                    continue
+                parts = dotted.split(".")
+                if parts[0] == "time" and parts[-1] in self._TIME_FNS:
+                    yield self.diag(
+                        module, node, f"wall-clock call `{dotted}()` in simulated-time code"
+                    )
+                elif (
+                    len(parts) >= 2
+                    and parts[-2] == "datetime"
+                    and parts[-1] in self._DATETIME_FNS
+                ):
+                    yield self.diag(
+                        module, node, f"wall-clock call `{dotted}()` in simulated-time code"
+                    )
+
+
+@register
+class NoUnseededRng(Rule):
+    rule_id = "SAN002"
+    title = "no unseeded randomness"
+    rationale = (
+        "Every stochastic path (jitter, daemon placement, fault injection, "
+        "randomized probing) must be replayable from a seed. The global "
+        "`random` module and the legacy `np.random.*` functions share hidden "
+        "process-wide state; one call silently breaks replay."
+    )
+    hint = (
+        "construct an explicit `random.Random(seed)` (or "
+        "`numpy.random.default_rng(seed)`) and thread it through the call site"
+    )
+
+    _ALLOWED_RANDOM = frozenset({"Random", "SystemRandom", "getstate"})
+    _ALLOWED_NP = frozenset({"default_rng", "Generator", "SeedSequence", "BitGenerator"})
+
+    def check(self, module: ModuleInfo) -> Iterator[Diagnostic]:
+        numpy_aliases = {"numpy"}
+        imports_random = False
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy":
+                        numpy_aliases.add(alias.asname or "numpy")
+                    elif alias.name == "random":
+                        imports_random = True
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    for alias in node.names:
+                        if alias.name not in self._ALLOWED_RANDOM:
+                            yield self.diag(
+                                module,
+                                node,
+                                f"`from random import {alias.name}` uses the "
+                                "shared global RNG state",
+                            )
+                elif node.module in ("numpy.random", "numpy"):
+                    for alias in node.names:
+                        if node.module == "numpy.random" and alias.name not in self._ALLOWED_NP:
+                            yield self.diag(
+                                module,
+                                node,
+                                f"`from numpy.random import {alias.name}` uses "
+                                "the legacy global numpy RNG",
+                            )
+            elif isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+                value = node.value
+                if (
+                    imports_random
+                    and isinstance(value, ast.Name)
+                    and value.id == "random"
+                    and node.attr not in self._ALLOWED_RANDOM
+                ):
+                    yield self.diag(
+                        module,
+                        node,
+                        f"`random.{node.attr}` draws from the unseeded global RNG",
+                    )
+                elif (
+                    isinstance(value, ast.Attribute)
+                    and value.attr == "random"
+                    and isinstance(value.value, ast.Name)
+                    and value.value.id in numpy_aliases
+                    and node.attr not in self._ALLOWED_NP
+                ):
+                    yield self.diag(
+                        module,
+                        node,
+                        f"`{value.value.id}.random.{node.attr}` uses the legacy "
+                        "global numpy RNG",
+                    )
+
+
+#: Identifier fragments that mark a value as carrying simulated time.
+_TIMING_TOKENS = frozenset(
+    {
+        "latency",
+        "elapsed",
+        "delay",
+        "cost",
+        "rtt",
+        "timeout",
+        "jitter",
+        "duration",
+        "us",
+        "ms",
+        "now",
+        "wake",
+    }
+)
+
+
+def _is_timing_name(node: ast.expr) -> bool:
+    if isinstance(node, ast.Attribute):
+        name = node.attr
+    elif isinstance(node, ast.Name):
+        name = node.id
+    else:
+        return False
+    tokens = {t for t in name.lower().strip("_").split("_") if t}
+    return bool(tokens & _TIMING_TOKENS)
+
+
+@register
+class NoFloatTimingEquality(Rule):
+    rule_id = "SAN003"
+    title = "no float ==/!= on latency or timing values"
+    rationale = (
+        "Probe costs and clocks are floats accumulated in different orders "
+        "across runs and platforms; exact equality on them makes results "
+        "depend on summation order, which determinism forbids relying on."
+    )
+    hint = (
+        "compare timing floats with `math.isclose(...)` or an explicit "
+        "epsilon/ordering check, never `==`/`!=`"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for i, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[i], operands[i + 1]
+                pair = (left, right)
+                if not any(_is_timing_name(side) for side in pair):
+                    continue
+                # Comparisons against None / strings / bools are identity or
+                # category checks, not float comparisons.
+                if any(
+                    isinstance(side, ast.Constant)
+                    and (side.value is None or isinstance(side.value, (str, bool)))
+                    for side in pair
+                ):
+                    continue
+                yield self.diag(
+                    module,
+                    node,
+                    "exact float equality on a timing value "
+                    f"(`{ast.unparse(left)} {'==' if isinstance(op, ast.Eq) else '!='} "
+                    f"{ast.unparse(right)}`)",
+                )
+
+
+@register
+class PortLiteralInRange(Rule):
+    rule_id = "SAN004"
+    title = "port-index literals must lie in [0, radix)"
+    rationale = (
+        "Port arithmetic is relative and non-modular (Section 2.2): indices "
+        "live in [0, 8) on the paper's 8-port Myrinet switches, and a literal "
+        "outside that range can never name a real port — it is a latent "
+        "off-by-radix bug the type system cannot catch."
+    )
+    hint = (
+        "derive port indices from `range(radix)` (or validate against the "
+        "switch radix); a literal >= 8 or < 0 cannot name a Myrinet port"
+    )
+
+    _PORT_KW_EXCLUDED_PREFIXES = ("n_", "num_", "max_", "min_", "hosts_per")
+
+    @staticmethod
+    def _int_literal(node: ast.expr) -> int | None:
+        """The value of an integer literal, unfolding unary +/- signs."""
+        sign = 1
+        while isinstance(node, ast.UnaryOp) and isinstance(
+            node.op, (ast.USub, ast.UAdd)
+        ):
+            if isinstance(node.op, ast.USub):
+                sign = -sign
+            node = node.operand
+        if (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, int)
+            and not isinstance(node.value, bool)
+        ):
+            return sign * node.value
+        return None
+
+    def _is_port_kw(self, name: str) -> bool:
+        if name.startswith(self._PORT_KW_EXCLUDED_PREFIXES):
+            return False
+        return name == "port" or name.endswith("_port")
+
+    def check(self, module: ModuleInfo) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for kw in node.keywords:
+                if kw.arg and self._is_port_kw(kw.arg):
+                    value = self._int_literal(kw.value)
+                    if value is not None and not 0 <= value < DEFAULT_RADIX:
+                        yield self.diag(
+                            module,
+                            kw.value,
+                            f"port keyword `{kw.arg}={value}` outside "
+                            f"[0, {DEFAULT_RADIX})",
+                        )
+            # Network.connect(node_a, port_a, node_b, port_b): positional
+            # port literals sit at indices 1 and 3.
+            if _call_name(node) == "connect" and len(node.args) == 4:
+                for pos in (1, 3):
+                    arg = node.args[pos]
+                    value = self._int_literal(arg)
+                    if value is not None and not 0 <= value < DEFAULT_RADIX:
+                        yield self.diag(
+                            module,
+                            arg,
+                            f"port literal {value} passed to connect() "
+                            f"outside [0, {DEFAULT_RADIX})",
+                        )
+
+
+@register
+class SchedulerStateEncapsulation(Rule):
+    rule_id = "SAN005"
+    title = "simulator clock/queue state mutated only inside repro.simulator"
+    rationale = (
+        "Determinism of the lockstep substrate depends on every state "
+        "transition flowing through schedule()/wait()/run(). A direct write "
+        "to `_now`, `_heap`, or `_queue` from outside the simulator package "
+        "bypasses tie-breaking and reorders events between runs."
+    )
+    hint = (
+        "go through the scheduler API (schedule(), schedule_at(), wait(), "
+        "run(until=...)) instead of writing simulator internals directly"
+    )
+
+    _GUARDED = frozenset({"_now", "_heap", "_queue", "_baton", "_running"})
+
+    def _targets(self, node: ast.stmt) -> list[ast.expr]:
+        if isinstance(node, ast.Assign):
+            return list(node.targets)
+        if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            return [node.target]
+        if isinstance(node, ast.Delete):
+            return list(node.targets)
+        return []
+
+    def check(self, module: ModuleInfo) -> Iterator[Diagnostic]:
+        if module.in_package("repro.simulator"):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Delete)):
+                continue
+            for target in self._targets(node):
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr in self._GUARDED
+                    # Writes to one's *own* private state (self._now) belong
+                    # to whatever class is being defined, not the simulator.
+                    and not (
+                        isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    )
+                ):
+                    yield self.diag(
+                        module,
+                        node,
+                        f"direct write to simulator-private `{ast.unparse(target)}` "
+                        "from outside repro.simulator",
+                    )
+
+
+@register
+class NoSilentBroadExcept(Rule):
+    rule_id = "SAN006"
+    title = "no bare/broad except that silently swallows"
+    rationale = (
+        "Under the paper's system model a deduction contradiction is a "
+        "*signal* (MappingError), not noise. A swallowed broad exception "
+        "turns model violations and probe corruption into silently wrong "
+        "maps; every handler must be narrow, or re-raise, or record/log "
+        "the exception it caught."
+    )
+    hint = (
+        "catch the narrowest exception type that can actually occur, or "
+        "re-raise / log / store the bound exception instead of discarding it"
+    )
+
+    _BROAD = frozenset({"Exception", "BaseException"})
+    _LOGGERS = frozenset({"logging", "log", "logger", "warnings"})
+
+    def _is_broad(self, type_node: ast.expr | None) -> bool:
+        if type_node is None:
+            return True  # bare `except:`
+        if isinstance(type_node, ast.Name):
+            return type_node.id in self._BROAD
+        if isinstance(type_node, ast.Tuple):
+            return any(self._is_broad(elt) for elt in type_node.elts)
+        return False
+
+    def _handler_is_honest(self, handler: ast.ExceptHandler) -> bool:
+        bound = handler.name
+        for node in ast.walk(ast.Module(body=handler.body, type_ignores=[])):
+            if isinstance(node, ast.Raise):
+                return True
+            if bound and isinstance(node, ast.Name) and node.id == bound:
+                return True
+            if isinstance(node, ast.Call):
+                dotted = _dotted(node.func)
+                if dotted and dotted.split(".")[0] in self._LOGGERS:
+                    return True
+        return False
+
+    def check(self, module: ModuleInfo) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(node.type):
+                continue
+            if node.type is None:
+                yield self.diag(module, node, "bare `except:` swallows everything")
+            elif not self._handler_is_honest(node):
+                caught = ast.unparse(node.type)
+                yield self.diag(
+                    module,
+                    node,
+                    f"broad `except {caught}` neither re-raises, logs, nor "
+                    "uses the caught exception",
+                )
+
+
+@register
+class ProbeConstructionViaService(Rule):
+    rule_id = "SAN007"
+    title = "probe records built only by ProbeService implementations"
+    rationale = (
+        "Mapping algorithms may observe the network *only* through the "
+        "response function R exposed by ProbeService (Section 2.3). A "
+        "mapper fabricating ProbeRecord objects is inventing observations "
+        "— it breaks the in-band honesty of the reproduction and corrupts "
+        "the Figure 6 probe accounting."
+    )
+    hint = (
+        "call probe_host()/probe_switch() on a ProbeService and let the "
+        "service record the probe; only service implementations construct "
+        "ProbeRecord"
+    )
+
+    _SERVICE_METHODS = frozenset({"probe_host", "probe_switch"})
+
+    def _class_is_service(self, cls: ast.ClassDef) -> bool:
+        for stmt in cls.body:
+            if (
+                isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and stmt.name in self._SERVICE_METHODS
+            ):
+                return True
+        # Subclasses of a *ProbeService base inherit the factory methods.
+        return any(
+            (base_name := _dotted(base)) is not None
+            and base_name.split(".")[-1].endswith("ProbeService")
+            for base in cls.bases
+        )
+
+    def check(self, module: ModuleInfo) -> Iterator[Diagnostic]:
+        if module.in_package("repro.simulator"):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or _call_name(node) != "ProbeRecord":
+                continue
+            cls = module.enclosing_class(node)
+            if cls is not None and self._class_is_service(cls):
+                continue
+            yield self.diag(
+                module,
+                node,
+                "ProbeRecord constructed outside a ProbeService implementation",
+            )
+
+
+@register
+class NoMutableDefaults(Rule):
+    rule_id = "SAN008"
+    title = "no mutable default arguments"
+    rationale = (
+        "A mutable default is shared across every call of the function — "
+        "state leaking between mapping runs is exactly the kind of hidden "
+        "coupling that makes 'same seed, same result' false."
+    )
+    hint = (
+        "default to None and create the list/dict/set inside the function "
+        "body (or use dataclasses.field(default_factory=...))"
+    )
+
+    _FACTORY_CALLS = frozenset(
+        {"list", "dict", "set", "defaultdict", "deque", "Counter", "OrderedDict"}
+    )
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            name = _call_name(node)
+            return name in self._FACTORY_CALLS
+        return False
+
+    def check(self, module: ModuleInfo) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            args = node.args
+            for default in [*args.defaults, *args.kw_defaults]:
+                if default is not None and self._is_mutable(default):
+                    name = getattr(node, "name", "<lambda>")
+                    yield self.diag(
+                        module,
+                        default,
+                        f"mutable default argument in `{name}` "
+                        f"(`{ast.unparse(default)}`)",
+                    )

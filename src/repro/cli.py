@@ -270,8 +270,31 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Parse and dispatch; map *expected* failures to clean exit codes.
+
+    Handlers stay narrow on purpose (see SAN006 in docs/STATIC_ANALYSIS.md):
+    a contradiction in the deduction engine or an unreadable input file is an
+    expected operational failure and becomes a one-line message with exit
+    code 2; anything else is a bug and must keep its traceback.
+    """
+    from repro.core.mapper import MappingError
+
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except FileNotFoundError as exc:
+        print(f"san-map: error: cannot read {exc.filename or exc}", file=sys.stderr)
+        return 2
+    except (json.JSONDecodeError, ValueError) as exc:
+        print(f"san-map: error: invalid input: {exc}", file=sys.stderr)
+        return 2
+    except MappingError as exc:
+        print(
+            "san-map: mapping failed: the probed responses contradict the "
+            f"system model ({exc})",
+            file=sys.stderr,
+        )
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -511,7 +511,7 @@ class BerkeleyMapper:
                 return (v.host_name, 0)  # type: ignore[return-value]
             return (names[v.vid], i + offsets[v.vid])
 
-        seen: set[frozenset] = set()
+        seen: set[frozenset[tuple[str, int]]] = set()
         for v in live:
             for i, ends in v.nbrs.items():
                 if len(ends) > 1:

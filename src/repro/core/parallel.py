@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass
+from typing import Any
 
 from repro.core.mapper import BerkeleyMapper, MapResult
 from repro.core.planner import ProbePlanner
@@ -91,7 +92,7 @@ def repeated_times(
     runs: int = 10,
     jitter: float = 0.08,
     base_seed: int = 0,
-    **kwargs,
+    **kwargs: Any,
 ) -> TimingSummary:
     """min/avg/max mapping time over ``runs`` jittered runs (Figure 7)."""
     times = [

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import ClassVar
 
 from repro.topology.analysis import core_decomposition, core_network
 from repro.topology.generators import build_subcluster, combine_subclusters
@@ -36,30 +37,36 @@ class PaperNumbers:
     """Published values from the paper's evaluation section."""
 
     # Figure 3 (interfaces, switches, links) per standalone subcluster.
-    fig3 = {"A": (34, 13, 64), "B": (30, 14, 65), "C": (36, 13, 64)}
+    fig3: ClassVar[dict[str, tuple[int, int, int]]] = {
+        "A": (34, 13, 64), "B": (30, 14, 65), "C": (36, 13, 64)
+    }
     # Figure 6: host probes, host hits %, switch probes, switch hits %.
-    fig6 = {
+    fig6: ClassVar[dict[str, tuple[int, int, int, int, int, int]]] = {
         "C": (200, 107, 53, 250, 157, 62),
         "C+A": (412, 216, 52, 491, 295, 60),
         "C+A+B": (804, 324, 40, 1207, 727, 60),
     }
     # Figure 7: (min, avg, max) ms for master and election modes.
-    fig7_master = {"C": (248, 256, 265), "C+A": (499, 522, 555), "C+A+B": (981, 1011, 1208)}
-    fig7_election = {"C": (277, 278, 282), "C+A": (569, 577, 587), "C+A+B": (1065, 1298, 3332)}
+    fig7_master: ClassVar[dict[str, tuple[int, int, int]]] = {
+        "C": (248, 256, 265), "C+A": (499, 522, 555), "C+A+B": (981, 1011, 1208)
+    }
+    fig7_election: ClassVar[dict[str, tuple[int, int, int]]] = {
+        "C": (277, 278, 282), "C+A": (569, 577, 587), "C+A+B": (1065, 1298, 3332)
+    }
     # Figure 8 headline numbers for C+A+B.
-    fig8_peak_model_nodes = 750
-    fig8_actual_nodes = 140
+    fig8_peak_model_nodes: ClassVar[int] = 750
+    fig8_actual_nodes: ClassVar[int] = 140
     # Figure 9 headline: ~8x speedup from 1 to 100 responders.
-    fig9_speedup = 8.0
+    fig9_speedup: ClassVar[float] = 8.0
     # Figure 10: loop, host, switch, compare, total, time_ms.
-    fig10 = {
+    fig10: ClassVar[dict[str, tuple[int, int, int, int, int, int]]] = {
         "C": (134, 713, 152, 450, 1449, 1414),
         "C+A": (283, 1484, 329, 1234, 3330, 2197),
         "C+A+B": (424, 2293, 611, 5089, 8413, 4009),
     }
     # Section 5.4 ratios Myricom/Berkeley: messages and time per system.
-    fig10_msg_ratio = {"C": 3.2, "C+A": 3.6, "C+A+B": 5.4}
-    fig10_time_ratio = {"C": 5.5, "C+A": 3.9, "C+A+B": 3.9}
+    fig10_msg_ratio: ClassVar[dict[str, float]] = {"C": 3.2, "C+A": 3.6, "C+A+B": 5.4}
+    fig10_time_ratio: ClassVar[dict[str, float]] = {"C": 5.5, "C+A": 3.9, "C+A+B": 3.9}
 
 
 PAPER = PaperNumbers()

@@ -60,7 +60,7 @@ def pick_root(net: Network, *, ignore_utility: bool = True) -> str:
         for s in net.switches:
             if s in lengths:
                 dist_to_hosts[s].append(lengths[s])
-    best: tuple | None = None
+    best: tuple[int, int] | None = None
     best_switch: str | None = None
     for s in sorted(net.switches):
         ds = dist_to_hosts[s]

@@ -12,14 +12,17 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable
 
-__all__ = ["EventQueue"]
+__all__ = ["Action", "EventQueue"]
+
+#: A scheduled callback; takes nothing, mutates whatever it closed over.
+Action = Callable[[], None]
 
 
 @dataclass(order=True)
 class _Event:
     time: float
     seq: int
-    action: Callable[[], None] = field(compare=False)
+    action: Action = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
 
 
@@ -35,7 +38,7 @@ class EventQueue:
     def now(self) -> float:
         return self._now
 
-    def schedule(self, delay: float, action: Callable[[], None]) -> _Event:
+    def schedule(self, delay: float, action: Action) -> _Event:
         """Schedule ``action`` at ``now + delay``; returns a cancellable handle."""
         if delay < 0:
             raise ValueError("cannot schedule into the past")
@@ -43,7 +46,7 @@ class EventQueue:
         heapq.heappush(self._heap, ev)
         return ev
 
-    def schedule_at(self, time: float, action: Callable[[], None]) -> _Event:
+    def schedule_at(self, time: float, action: Action) -> _Event:
         return self.schedule(max(0.0, time - self._now), action)
 
     @staticmethod

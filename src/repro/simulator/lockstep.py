@@ -25,8 +25,13 @@ import heapq
 import itertools
 import threading
 from dataclasses import dataclass, field
+from typing import Callable
 
-__all__ = ["ActorError", "LockstepScheduler"]
+__all__ = ["ActorBody", "ActorError", "LockstepScheduler"]
+
+#: An actor is a callable run in its own thread with the scheduler as its
+#: only handle on (simulated) time.
+ActorBody = Callable[["LockstepScheduler"], None]
 
 
 class ActorError(RuntimeError):
@@ -56,7 +61,7 @@ class LockstepScheduler:
         self._started = False
 
     # -- construction ----------------------------------------------------
-    def spawn(self, name: str, fn, *, start_at: float = 0.0) -> None:
+    def spawn(self, name: str, fn: ActorBody, *, start_at: float = 0.0) -> None:
         """Register an actor; ``fn(scheduler)`` runs in its own thread."""
         if self._started:
             raise RuntimeError("cannot spawn after run() started")

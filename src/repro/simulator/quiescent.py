@@ -18,6 +18,7 @@ Host-probe semantics beyond path evaluation:
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 
 from repro.simulator.collision import CircuitModel, CollisionModel
@@ -78,8 +79,6 @@ class QuiescentProbeService:
         self._turn_limit = max(
             (self.net.radix(s) - 1 for s in self.net.switches), default=7
         )
-        import random
-
         self._rng = random.Random(self.seed)
 
     def _jittered(self, cost: float) -> float:

@@ -1,0 +1,345 @@
+"""Golden-snippet tests: every SAN rule fires on a known-bad fragment,
+stays quiet on the sanctioned equivalent, and respects suppression
+comments and fix-it hints."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import all_rule_ids, get_rule, lint_source
+from repro.analysis.engine import collect_files, module_name_for, render_report
+
+
+def lint(source: str, module: str = "repro.core.example", **kwargs):
+    return lint_source(textwrap.dedent(source), module=module, path="example.py", **kwargs)
+
+
+def ids(diags) -> list[str]:
+    return [d.rule_id for d in diags]
+
+
+# ---------------------------------------------------------------------------
+# one known-bad snippet per rule (the acceptance-criteria seeded violations)
+# ---------------------------------------------------------------------------
+
+BAD_SNIPPETS = {
+    "SAN001": """
+        import time
+
+        def probe_cost():
+            return time.perf_counter()
+    """,
+    "SAN002": """
+        import random
+
+        def jitter():
+            return random.random()
+    """,
+    "SAN003": """
+        def same(elapsed_us, cost_us):
+            return elapsed_us == cost_us
+    """,
+    "SAN004": """
+        def wire(net):
+            net.connect("sw0", 9, "sw1", 0)
+    """,
+    "SAN005": """
+        def rewind(queue):
+            queue._now = 0.0
+    """,
+    "SAN006": """
+        def run(step):
+            try:
+                step()
+            except Exception:
+                pass
+    """,
+    "SAN007": """
+        from repro.simulator.probes import ProbeKind, ProbeRecord
+
+        class Mapper:
+            def explore(self, turns):
+                self.stats.record(ProbeRecord(ProbeKind.HOST, turns, True, 1.0))
+    """,
+    "SAN008": """
+        def collect(into=[]):
+            into.append(1)
+            return into
+    """,
+}
+
+
+@pytest.mark.parametrize("rule_id", sorted(BAD_SNIPPETS))
+def test_bad_snippet_flags_exactly_this_rule(rule_id):
+    diags = lint(BAD_SNIPPETS[rule_id])
+    assert rule_id in ids(diags), f"{rule_id} did not fire"
+    flagged = [d for d in diags if d.rule_id == rule_id]
+    assert all(d.line > 0 and d.path == "example.py" for d in flagged)
+    # The snippet is minimal: no *other* rule should fire on it.
+    assert set(ids(diags)) == {rule_id}
+
+
+@pytest.mark.parametrize("rule_id", sorted(BAD_SNIPPETS))
+def test_every_diag_carries_the_rules_hint(rule_id):
+    (diag, *_rest) = [d for d in lint(BAD_SNIPPETS[rule_id]) if d.rule_id == rule_id]
+    assert diag.hint == get_rule(rule_id).hint
+    rendered = diag.render()
+    assert rule_id in rendered and "hint:" in rendered
+    assert "hint:" not in diag.render(show_hint=False)
+
+
+def test_registry_has_the_eight_domain_rules():
+    assert all_rule_ids() == [f"SAN00{i}" for i in range(1, 9)]
+
+
+# ---------------------------------------------------------------------------
+# per-rule positive/negative pairs beyond the minimal snippets
+# ---------------------------------------------------------------------------
+
+def test_san001_only_applies_to_simulated_time_packages():
+    src = """
+        import time
+
+        def stamp():
+            return time.time()
+    """
+    assert ids(lint(src, module="repro.simulator.timing")) == ["SAN001"]
+    assert ids(lint(src, module="repro.core.mapper")) == ["SAN001"]
+    assert ids(lint(src, module="repro.experiments.fig7")) == []
+
+
+def test_san001_flags_from_time_import_and_datetime_now():
+    src = """
+        from time import perf_counter
+        from datetime import datetime
+
+        def stamp():
+            return perf_counter(), datetime.now()
+    """
+    assert ids(lint(src, module="repro.simulator.timing")) == ["SAN001", "SAN001"]
+
+
+def test_san002_allows_seeded_rng_and_flags_numpy_legacy():
+    good = """
+        import random
+
+        def jitter(seed):
+            rng = random.Random(seed)
+            return rng.random()
+    """
+    assert ids(lint(good)) == []
+    bad_np = """
+        import numpy as np
+
+        def noise():
+            return np.random.normal()
+    """
+    assert ids(lint(bad_np)) == ["SAN002"]
+    good_np = """
+        import numpy as np
+
+        def noise(seed):
+            return np.random.default_rng(seed).normal()
+    """
+    assert ids(lint(good_np)) == []
+
+
+def test_san002_flags_from_random_import():
+    assert ids(lint("from random import choice\n")) == ["SAN002"]
+    assert ids(lint("from random import Random\n")) == []
+
+
+def test_san003_ignores_none_and_non_timing_names():
+    assert ids(lint("def f(cost_us):\n    return cost_us is None\n")) == []
+    assert ids(lint("def f(cost_us):\n    return cost_us == None\n")) == []
+    assert ids(lint("def f(name, other):\n    return name == other\n")) == []
+    assert ids(lint("def f(elapsed_us):\n    return elapsed_us < 3.0\n")) == []
+    assert ids(lint("def f(self):\n    return self._now != 0.0\n")) == ["SAN003"]
+
+
+def test_san004_keyword_and_range_behaviour():
+    assert ids(lint("def f(sw):\n    sw.attach(port=12)\n")) == ["SAN004"]
+    assert ids(lint("def f(sw):\n    sw.attach(port=-1)\n")) == ["SAN004"]
+    assert ids(lint("def f(sw):\n    sw.attach(port=7)\n")) == []
+    # counts and radixes are not port indices
+    assert ids(lint("def f(net):\n    net.grow(n_port=64)\n")) == []
+    assert ids(lint("def f():\n    return range(8)\n")) == []
+    # connect() with computed ports is fine
+    assert ids(lint("def f(net, p):\n    net.connect('a', p, 'b', p + 1)\n")) == []
+
+
+def test_san005_allows_self_and_simulator_package():
+    bad = "def f(q):\n    q._heap = []\n"
+    assert ids(lint(bad)) == ["SAN005"]
+    assert ids(lint(bad, module="repro.simulator.events")) == []
+    own = """
+        class Thing:
+            def __init__(self):
+                self._now = 0.0
+    """
+    assert ids(lint(own)) == []
+
+
+def test_san006_honest_handlers_pass():
+    reraise = """
+        def f(step):
+            try:
+                step()
+            except Exception:
+                raise
+    """
+    assert ids(lint(reraise)) == []
+    stored = """
+        def f(step, box):
+            try:
+                step()
+            except BaseException as exc:
+                box.error = exc
+    """
+    assert ids(lint(stored)) == []
+    logged = """
+        import logging
+
+        def f(step):
+            try:
+                step()
+            except Exception:
+                logging.exception("step failed")
+    """
+    assert ids(lint(logged)) == []
+    bare = "def f(step):\n    try:\n        step()\n    except:\n        pass\n"
+    assert ids(lint(bare)) == ["SAN006"]
+    unused_bind = """
+        def f(step):
+            try:
+                step()
+            except Exception as exc:
+                pass
+    """
+    assert ids(lint(unused_bind)) == ["SAN006"]
+
+
+def test_san007_allows_service_classes_and_simulator_package():
+    service = """
+        from repro.simulator.probes import ProbeKind, ProbeRecord
+
+        class MyProbeService:
+            def probe_host(self, turns):
+                rec = ProbeRecord(ProbeKind.HOST, turns, True, 1.0)
+                self.stats.record(rec)
+                return None
+    """
+    assert ids(lint(service)) == []
+    subclass = """
+        from repro.simulator.probes import ProbeKind, ProbeRecord
+        from repro.simulator.quiescent import QuiescentProbeService
+
+        class Derived(QuiescentProbeService):
+            def _extra(self, turns):
+                return ProbeRecord(ProbeKind.HOST, turns, True, 1.0)
+    """
+    assert ids(lint(subclass)) == []
+    assert ids(lint(BAD_SNIPPETS["SAN007"], module="repro.simulator.helper")) == []
+
+
+def test_san008_none_default_is_fine():
+    assert ids(lint("def f(into=None):\n    return into or []\n")) == []
+    assert ids(lint("f = lambda acc={}: acc\n")) == ["SAN008"]
+
+
+# ---------------------------------------------------------------------------
+# suppression comments
+# ---------------------------------------------------------------------------
+
+def test_line_suppression_silences_named_rule():
+    src = """
+        import random
+
+        def jitter():
+            return random.random()  # sanlint: disable=SAN002
+    """
+    assert ids(lint(src)) == []
+
+
+def test_line_suppression_is_rule_specific():
+    src = """
+        import random
+
+        def jitter():
+            return random.random()  # sanlint: disable=SAN008
+    """
+    assert ids(lint(src)) == ["SAN002"]
+
+
+def test_line_suppression_without_ids_silences_all():
+    src = """
+        import random
+
+        def jitter():
+            return random.random()  # sanlint: disable
+    """
+    assert ids(lint(src)) == []
+
+
+def test_file_suppression():
+    src = """
+        # sanlint: disable-file=SAN002
+        import random
+
+        def jitter():
+            return random.random()
+
+        def collect(into=[]):
+            return into
+    """
+    assert ids(lint(src)) == ["SAN008"]
+
+
+def test_select_and_ignore():
+    src = BAD_SNIPPETS["SAN002"] + BAD_SNIPPETS["SAN008"].replace("def collect", "def collect2")
+    assert ids(lint(src, select=["SAN002"])) == ["SAN002"]
+    assert ids(lint(src, ignore=["SAN002"])) == ["SAN008"]
+
+
+# ---------------------------------------------------------------------------
+# engine plumbing
+# ---------------------------------------------------------------------------
+
+def test_render_report_counts_and_clean():
+    diags = lint(BAD_SNIPPETS["SAN008"])
+    report = render_report(diags)
+    assert "sanlint: 1 violation" in report
+    assert render_report([]) == "sanlint: clean"
+
+
+def test_module_name_for_walks_packages(tmp_path):
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    mod = pkg / "mapper.py"
+    mod.write_text("x = 1\n")
+    assert module_name_for(mod) == "repro.core.mapper"
+    assert module_name_for(pkg / "__init__.py") == "repro.core"
+
+
+def test_collect_files_dedupes_and_sorts(tmp_path):
+    a = tmp_path / "a.py"
+    b = tmp_path / "b.py"
+    a.write_text("")
+    b.write_text("")
+    assert collect_files([tmp_path, a]) == [a, b]
+    with pytest.raises(FileNotFoundError):
+        collect_files([tmp_path / "missing.py"])
+
+
+def test_syntax_error_becomes_san000(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def f(:\n")
+    from repro.analysis.engine import lint_paths
+
+    diags = lint_paths([bad])
+    assert [d.rule_id for d in diags] == ["SAN000"]
+    assert "could not parse" in diags[0].message

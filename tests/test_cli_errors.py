@@ -10,15 +10,18 @@ from repro.topology.builder import NetworkBuilder
 
 
 class TestBadInputs:
-    def test_missing_network_file(self, tmp_path):
-        with pytest.raises(FileNotFoundError):
-            main(["analyze", "--network", str(tmp_path / "nope.json")])
+    def test_missing_network_file(self, tmp_path, capsys):
+        """Expected operational failures become exit code 2, not tracebacks."""
+        code = main(["analyze", "--network", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().err
 
-    def test_malformed_document(self, tmp_path):
+    def test_malformed_document(self, tmp_path, capsys):
         bad = tmp_path / "bad.json"
         bad.write_text(json.dumps({"format": "not-a-map"}))
-        with pytest.raises(ValueError, match="san-map"):
-            main(["map", "--network", str(bad)])
+        code = main(["map", "--network", str(bad)])
+        assert code == 2
+        assert "invalid input" in capsys.readouterr().err
 
     def test_unknown_experiment_rejected_by_argparse(self):
         with pytest.raises(SystemExit):
