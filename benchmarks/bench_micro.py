@@ -50,13 +50,54 @@ def test_core_decomposition_subcluster(benchmark, now_c):
     assert decomp.search_depth == 11
 
 
+def _map_subcluster(net, *, use_cache: bool):
+    svc = QuiescentProbeService(net, "C-svc", use_cache=use_cache)
+    result = BerkeleyMapper(svc, search_depth=11, host_first=False).run()
+    assert result.network.n_switches == 13
+    return result, svc
+
+
 def test_full_mapping_run_subcluster(benchmark, now_c):
+    """The headline workload, evaluation cache on (the default)."""
+
     def run():
-        svc = QuiescentProbeService(now_c, "C-svc")
-        return BerkeleyMapper(svc, search_depth=11, host_first=False).run()
+        return _map_subcluster(now_c, use_cache=True)[0]
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     assert result.network.n_switches == 13
+
+
+def test_full_mapping_run_subcluster_uncached(benchmark, now_c):
+    """Cache-off arm: every probe re-walks via pure evaluate_route."""
+
+    def run():
+        return _map_subcluster(now_c, use_cache=False)[0]
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.network.n_switches == 13
+
+
+def test_mapping_cache_speedup_at_least_2x(now_c):
+    """The PR's acceptance bar: the prefix-trie cache at least halves the
+    subcluster-C mapping time. Min-of-7 on both arms keeps scheduler noise
+    out of the ratio."""
+    import time
+
+    def best_of(use_cache: bool) -> float:
+        best = float("inf")
+        for _ in range(7):
+            start = time.perf_counter()
+            _map_subcluster(now_c, use_cache=use_cache)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    cached = best_of(True)
+    uncached = best_of(False)
+    speedup = uncached / cached
+    assert speedup >= 2.0, (
+        f"cache speedup {speedup:.2f}x < 2x "
+        f"(cached {cached * 1e3:.2f} ms, uncached {uncached * 1e3:.2f} ms)"
+    )
 
 
 def test_floyd_warshall_full_now(benchmark, now_full):

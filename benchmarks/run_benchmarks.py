@@ -1,0 +1,303 @@
+#!/usr/bin/env python
+"""The perf harness: timed suites, JSON baselines, regression gating.
+
+Two suites mirror the pytest-benchmark modules but run standalone (no
+pytest needed), so CI and developers get numbers and a pass/fail gate from
+one command:
+
+- ``micro``   — substrate hot paths (route evaluation, probe pairs, the
+  full subcluster-C mapping run with the evaluation cache on and off);
+- ``mapping`` — figure-level workloads (Figure 4 subcluster map, Figure 5
+  full-NOW map, the routing pipeline).
+
+Each benchmark repeats ``--repeats`` times and records the **median**
+wall-clock time per operation plus any extra counters (probe totals,
+cache hit rates from :class:`repro.simulator.path_eval.EvalCacheStats`).
+Results land in ``BENCH_micro.json`` / ``BENCH_mapping.json`` next to this
+script (override with ``--out``).
+
+Regression gating::
+
+    python benchmarks/run_benchmarks.py --suite micro \
+        --check-against benchmarks/BENCH_micro.json [--tolerance 0.20]
+
+fails (exit 1) when any benchmark's median exceeds the baseline by more
+than the tolerance. ``--input FILE`` compares a pre-recorded result JSON
+instead of running the suite — the unit tests use that to verify the gate
+itself, and it lets CI split measure and compare steps.
+
+Baselines are committed; refresh them (see docs/PERFORMANCE.md) with::
+
+    python benchmarks/run_benchmarks.py --suite all
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Callable
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+
+if str(REPO_ROOT / "src") not in sys.path:  # runnable without installing
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+SCHEMA_VERSION = 1
+
+#: A benchmark body: runs the workload once and returns
+#: (seconds_per_operation, extra_counters).
+Bench = Callable[[], tuple[float, dict]]
+
+
+# ---------------------------------------------------------------------------
+# micro suite
+# ---------------------------------------------------------------------------
+
+def _time_op(fn: Callable[[], object], iterations: int) -> float:
+    start = time.perf_counter()
+    for _ in range(iterations):
+        fn()
+    return (time.perf_counter() - start) / iterations
+
+
+def _micro_route_eval() -> tuple[float, dict]:
+    from repro.simulator.path_eval import evaluate_route
+    from repro.topology.generators import build_subcluster
+
+    net = build_subcluster("C")
+    turns = (5, 1, -2, 2, -1)
+    return _time_op(lambda: evaluate_route(net, "C-n00", turns), 2000), {}
+
+
+def _micro_switch_probe_eval() -> tuple[float, dict]:
+    from repro.simulator.path_eval import evaluate_route
+    from repro.simulator.turns import switch_probe_turns
+    from repro.topology.generators import build_subcluster
+
+    net = build_subcluster("C")
+    loop = switch_probe_turns((5, 1, 2))
+    return _time_op(lambda: evaluate_route(net, "C-n00", loop), 2000), {}
+
+
+def _micro_probe_pair() -> tuple[float, dict]:
+    from repro.simulator.quiescent import QuiescentProbeService
+    from repro.topology.generators import build_subcluster
+
+    svc = QuiescentProbeService(build_subcluster("C"), "C-n00")
+    per_op = _time_op(lambda: svc.response((5, 1), host_first=False), 2000)
+    stats = svc.eval_cache_stats
+    return per_op, {"cache_hit_rate": round(stats.hit_rate, 4)}
+
+
+def _mapping_run(use_cache: bool) -> tuple[float, dict]:
+    from repro.core.mapper import BerkeleyMapper
+    from repro.simulator.quiescent import QuiescentProbeService
+    from repro.topology.generators import build_subcluster
+
+    net = build_subcluster("C")
+    start = time.perf_counter()
+    svc = QuiescentProbeService(net, "C-svc", use_cache=use_cache)
+    result = BerkeleyMapper(svc, search_depth=11, host_first=False).run()
+    elapsed = time.perf_counter() - start
+    assert result.network.n_switches == 13
+    extra = {"probes": result.stats.total_probes}
+    stats = svc.eval_cache_stats
+    if stats is not None:
+        extra["cache_hit_rate"] = round(stats.hit_rate, 4)
+        extra["cache_nodes"] = stats.nodes
+    return elapsed, extra
+
+
+MICRO_SUITE: dict[str, Bench] = {
+    "route_eval": _micro_route_eval,
+    "switch_probe_eval": _micro_switch_probe_eval,
+    "probe_pair": _micro_probe_pair,
+    "full_mapping_subcluster_cached": lambda: _mapping_run(True),
+    "full_mapping_subcluster_uncached": lambda: _mapping_run(False),
+}
+
+
+# ---------------------------------------------------------------------------
+# mapping (figure) suite
+# ---------------------------------------------------------------------------
+
+def _fig4_map() -> tuple[float, dict]:
+    from repro.experiments.fig4_subcluster_map import run
+
+    start = time.perf_counter()
+    exp = run("C")
+    elapsed = time.perf_counter() - start
+    assert exp.verification.isomorphic
+    extra = {"probes": exp.result.stats.total_probes}
+    if exp.cache is not None:
+        extra["cache_hit_rate"] = round(exp.cache.hit_rate, 4)
+    return elapsed, extra
+
+
+def _fig5_map() -> tuple[float, dict]:
+    from repro.experiments.fig5_full_map import run
+
+    start = time.perf_counter()
+    exp = run()
+    elapsed = time.perf_counter() - start
+    assert exp.verification.isomorphic
+    extra = {"probes": exp.result.stats.total_probes}
+    if exp.cache is not None:
+        extra["cache_hit_rate"] = round(exp.cache.hit_rate, 4)
+    return elapsed, extra
+
+
+def _routing_pipeline() -> tuple[float, dict]:
+    from repro.routing.compile_routes import compile_route_tables
+    from repro.routing.paths import all_pairs_updown_paths, build_phase_graph
+    from repro.routing.updown import orient_updown
+    from repro.topology.generators import build_full_now
+
+    net = build_full_now()
+    start = time.perf_counter()
+    ori = orient_updown(net)
+    graph = build_phase_graph(net, ori)
+    paths = all_pairs_updown_paths(net, ori, graph=graph)
+    tables = compile_route_tables(net, paths, orientation=ori)
+    elapsed = time.perf_counter() - start
+    return elapsed, {"routes": sum(len(t) for t in tables.values())}
+
+
+MAPPING_SUITE: dict[str, Bench] = {
+    "fig4_map_subcluster_c": _fig4_map,
+    "fig5_map_full_now": _fig5_map,
+    "routing_pipeline_full_now": _routing_pipeline,
+}
+
+#: Benchmarks skipped by --quick (the CI smoke job): too slow for a gate.
+SLOW_BENCHES = frozenset({"fig5_map_full_now"})
+
+
+# ---------------------------------------------------------------------------
+# runner / JSON / gating
+# ---------------------------------------------------------------------------
+
+def run_suite(
+    suite: dict[str, Bench], *, repeats: int, quick: bool
+) -> dict:
+    results: dict[str, dict] = {}
+    for name, bench in suite.items():
+        if quick and name in SLOW_BENCHES:
+            print(f"  {name}: skipped (--quick)")
+            continue
+        samples: list[float] = []
+        extra: dict = {}
+        for _ in range(repeats):
+            seconds, extra = bench()
+            samples.append(seconds)
+        median_us = statistics.median(samples) * 1e6
+        results[name] = {
+            "median_us": round(median_us, 2),
+            "min_us": round(min(samples) * 1e6, 2),
+            "repeats": repeats,
+            **({"extra": extra} if extra else {}),
+        }
+        print(f"  {name}: median {median_us / 1000:.2f} ms"
+              + (f"  {extra}" if extra else ""))
+    return {"schema": SCHEMA_VERSION, "benchmarks": results}
+
+
+def find_regressions(
+    baseline: dict, current: dict, tolerance: float
+) -> list[str]:
+    """Benchmarks whose median exceeds the baseline by more than tolerance.
+
+    Only names present in both documents are compared, so adding or
+    retiring a benchmark never trips the gate by itself.
+    """
+    problems: list[str] = []
+    base_benches = baseline.get("benchmarks", {})
+    cur_benches = current.get("benchmarks", {})
+    for name in sorted(set(base_benches) & set(cur_benches)):
+        base = base_benches[name].get("median_us")
+        cur = cur_benches[name].get("median_us")
+        if not base or cur is None:
+            continue
+        ratio = cur / base
+        if ratio > 1.0 + tolerance:
+            problems.append(
+                f"{name}: {cur:.1f}us vs baseline {base:.1f}us "
+                f"({ratio - 1.0:+.0%}, tolerance {tolerance:.0%})"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--suite", choices=["micro", "mapping", "all"],
+                        default="micro")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="samples per benchmark (median is recorded)")
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer repeats, skip the slowest benchmarks")
+    parser.add_argument("--out", type=Path, default=BENCH_DIR,
+                        help="directory for BENCH_<suite>.json results")
+    parser.add_argument("--check-against", type=Path, default=None,
+                        help="baseline JSON to gate regressions against")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed median slowdown vs baseline (0.20 = 20%%)")
+    parser.add_argument("--input", type=Path, default=None,
+                        help="compare this pre-recorded result JSON instead "
+                             "of running (requires --check-against)")
+    args = parser.parse_args(argv)
+
+    # Read the baseline up front: with the default --out the result file
+    # and the baseline can be the same path, and the gate must compare
+    # against the committed numbers, not the ones just written.
+    baseline = (
+        json.loads(args.check_against.read_text())
+        if args.check_against is not None
+        else None
+    )
+
+    if args.input is not None:
+        if args.check_against is None:
+            parser.error("--input only makes sense with --check-against")
+        docs = {"input": json.loads(args.input.read_text())}
+    else:
+        repeats = max(1, args.repeats // 2) if args.quick else args.repeats
+        suites = (
+            {"micro": MICRO_SUITE, "mapping": MAPPING_SUITE}
+            if args.suite == "all"
+            else {args.suite: MICRO_SUITE if args.suite == "micro" else MAPPING_SUITE}
+        )
+        docs = {}
+        for suite_name, suite in suites.items():
+            print(f"suite {suite_name} (repeats={repeats}"
+                  + (", quick" if args.quick else "") + "):")
+            doc = run_suite(suite, repeats=repeats, quick=args.quick)
+            docs[suite_name] = doc
+            # Gated runs write alongside the baseline, never over it.
+            stem = f"BENCH_{suite_name}" + (
+                ".current" if args.check_against is not None else ""
+            )
+            out_path = args.out / f"{stem}.json"
+            out_path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+            print(f"wrote {out_path}")
+
+    if baseline is not None:
+        failures: list[str] = []
+        for doc in docs.values():
+            failures += find_regressions(baseline, doc, args.tolerance)
+        if failures:
+            print("REGRESSIONS:", file=sys.stderr)
+            for line in failures:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"no regressions beyond {args.tolerance:.0%} vs "
+              f"{args.check_against}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

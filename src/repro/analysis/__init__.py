@@ -7,7 +7,7 @@ seeded RNGs everywhere, relative non-modular port arithmetic staying in
 :class:`~repro.simulator.probes.ProbeService`. This package makes those
 substrate guarantees machine-checked:
 
-- :mod:`repro.analysis.rules` — the SAN001-SAN008 rule set;
+- :mod:`repro.analysis.rules` — the SAN001-SAN009 rule set;
 - :mod:`repro.analysis.engine` — parsing, ``# sanlint: disable=...``
   suppression, reporting;
 - :mod:`repro.analysis.cli` — the ``san-lint`` console script;

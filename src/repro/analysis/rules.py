@@ -24,6 +24,7 @@ __all__ = [
     "NoSilentBroadExcept",
     "ProbeConstructionViaService",
     "NoMutableDefaults",
+    "ServiceEvaluatesViaCache",
 ]
 
 #: Switch radix of the paper's Myrinet fabric; port indices live in [0, 8).
@@ -53,6 +54,26 @@ def _dotted(node: ast.expr) -> str | None:
         parts.append(node.id)
         return ".".join(reversed(parts))
     return None
+
+
+#: Methods whose presence marks a class as a ProbeService implementation.
+_SERVICE_METHODS = frozenset({"probe_host", "probe_switch"})
+
+
+def _class_is_service(cls: ast.ClassDef) -> bool:
+    """Does this class implement (or inherit) the ProbeService protocol?"""
+    for stmt in cls.body:
+        if (
+            isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and stmt.name in _SERVICE_METHODS
+        ):
+            return True
+    # Subclasses of a *ProbeService base inherit the protocol methods.
+    return any(
+        (base_name := _dotted(base)) is not None
+        and base_name.split(".")[-1].endswith("ProbeService")
+        for base in cls.bases
+    )
 
 
 @register
@@ -461,22 +482,6 @@ class ProbeConstructionViaService(Rule):
         "ProbeRecord"
     )
 
-    _SERVICE_METHODS = frozenset({"probe_host", "probe_switch"})
-
-    def _class_is_service(self, cls: ast.ClassDef) -> bool:
-        for stmt in cls.body:
-            if (
-                isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
-                and stmt.name in self._SERVICE_METHODS
-            ):
-                return True
-        # Subclasses of a *ProbeService base inherit the factory methods.
-        return any(
-            (base_name := _dotted(base)) is not None
-            and base_name.split(".")[-1].endswith("ProbeService")
-            for base in cls.bases
-        )
-
     def check(self, module: ModuleInfo) -> Iterator[Diagnostic]:
         if module.in_package("repro.simulator"):
             return
@@ -484,7 +489,7 @@ class ProbeConstructionViaService(Rule):
             if not isinstance(node, ast.Call) or _call_name(node) != "ProbeRecord":
                 continue
             cls = module.enclosing_class(node)
-            if cls is not None and self._class_is_service(cls):
+            if cls is not None and _class_is_service(cls):
                 continue
             yield self.diag(
                 module,
@@ -533,3 +538,40 @@ class NoMutableDefaults(Rule):
                         f"mutable default argument in `{name}` "
                         f"(`{ast.unparse(default)}`)",
                     )
+
+
+@register
+class ServiceEvaluatesViaCache(Rule):
+    rule_id = "SAN009"
+    title = "probe services evaluate paths through the incremental cache"
+    rationale = (
+        "Probe services walk overlapping turn prefixes thousands of times "
+        "per mapping run; the IncrementalPathEvaluator trie is the single "
+        "evaluation authority that makes them O(1) per extension and keeps "
+        "the cache counters honest. A direct evaluate_route() call inside a "
+        "ProbeService silently bypasses the cache: the result is still "
+        "correct, so nothing fails — the evaluation cost and the reported "
+        "hit rate just quietly stop meaning anything."
+    )
+    hint = (
+        "use IncrementalPathEvaluator (probe_info()/loopback_info()/"
+        "evaluate()) or the service's _probe_info()/_path() helpers; a "
+        "deliberate pure-path escape hatch marks the line with "
+        "`# sanlint: disable=SAN009`"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Diagnostic]:
+        # No package exemption: the quiescent service's own escape-hatch
+        # lines carry explicit disable comments instead.
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or _call_name(node) != "evaluate_route":
+                continue
+            cls = module.enclosing_class(node)
+            if cls is None or not _class_is_service(cls):
+                continue
+            yield self.diag(
+                module,
+                node,
+                "direct evaluate_route() call inside a ProbeService "
+                "implementation bypasses the evaluation cache",
+            )

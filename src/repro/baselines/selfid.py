@@ -27,7 +27,7 @@ from dataclasses import dataclass
 
 from repro.core.mapper import MappingError
 from repro.core.planner import PortPlan
-from repro.simulator.path_eval import PathStatus, evaluate_route
+from repro.simulator.path_eval import PathStatus
 from repro.simulator.probes import ProbeKind, ProbeRecord, ProbeStats
 from repro.simulator.quiescent import QuiescentProbeService
 from repro.simulator.turns import Turns, reverse_turns, switch_probe_turns, validate_turns
@@ -43,7 +43,7 @@ class SelfIdProbeService(QuiescentProbeService):
         """Switch-probe whose returning loopback carries the switch's id."""
         turns = validate_turns(turns)
         loop = switch_probe_turns(turns)
-        path = evaluate_route(self.net, self.mapper, loop)
+        path = self._path(loop)
         switch_id: str | None = None
         if (
             path.status is PathStatus.DELIVERED

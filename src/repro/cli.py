@@ -106,6 +106,10 @@ def _cmd_map(args: argparse.Namespace) -> int:
           f"{produced.n_switches} switches, {produced.n_wires} wires")
     print(f"probes: {stats.total_probes} ({stats.total_hits} answered), "
           f"simulated time {stats.elapsed_ms:.1f} ms")
+    if args.stats:
+        from repro.core.instrumentation import cache_summary
+
+        print(cache_summary(getattr(svc, "eval_cache_stats", None)))
     report = match_networks(produced, core_network(net))
     print(f"verified against actual core: "
           f"{'isomorphic' if report else f'MISMATCH ({report.reason})'}")
@@ -245,6 +249,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--depth", type=int, default=None)
     p.add_argument("--out", default=None)
     p.add_argument("--render", action="store_true")
+    p.add_argument("--stats", action="store_true",
+                   help="print probe-evaluation cache counters")
     p.set_defaults(func=_cmd_map)
 
     p = sub.add_parser("routes", help="compute deadlock-free routes from a map")

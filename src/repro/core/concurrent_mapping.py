@@ -30,7 +30,7 @@ from repro.core.mapper import BerkeleyMapper, MapResult
 from repro.simulator.collision import CircuitModel, CollisionModel
 from repro.simulator.lockstep import LockstepScheduler
 from repro.simulator.occupancy import ChannelOccupancy
-from repro.simulator.path_eval import PathStatus, evaluate_route
+from repro.simulator.path_eval import IncrementalPathEvaluator
 from repro.simulator.probes import ProbeKind, ProbeRecord, ProbeStats
 from repro.simulator.timing import MYRINET_TIMING, TimingModel
 from repro.simulator.turns import Turns, switch_probe_turns, validate_turns
@@ -96,6 +96,7 @@ class _ConcurrentProbeService:
         self._fabric = fabric
         self._collision = collision
         self._timing = timing
+        self._evaluator = IncrementalPathEvaluator(net)
         self._stats = ProbeStats()
         self._turn_limit = max(
             (net.radix(s) - 1 for s in net.switches), default=7
@@ -113,18 +114,15 @@ class _ConcurrentProbeService:
 
     def probe_host(self, turns: Turns) -> str | None:
         turns = validate_turns(turns, limit=self._turn_limit)
-        path = evaluate_route(self._net, self._mapper, turns)
+        info = self._evaluator.probe_info(self._mapper, turns, self._collision)
         hit = False
         responder: str | None = None
-        if (
-            path.status is PathStatus.DELIVERED
-            and self._collision.blocked_at(path.traversals) is None
-        ):
+        if info.ok and info.blocked is None:
             placement = self._fabric.occupancy.try_place(
-                path, self._sched.now
+                info, self._sched.now
             )
             if placement.ok:
-                target = path.delivered_to
+                target = info.delivered_to
                 assert target is not None
                 # A delivered host-probe carries the sender's interface
                 # address: under the election rule a lower-address active
@@ -148,7 +146,7 @@ class _ConcurrentProbeService:
             else:
                 self.lost_to_contention += 1
         cost = (
-            self._timing.probe_response_us(path.hops, path.hops)
+            self._timing.probe_response_us(info.hops, info.hops)
             if hit
             else self._timing.probe_timeout_us()
         )
@@ -160,20 +158,16 @@ class _ConcurrentProbeService:
         """Raw worm (zeros allowed) — lets the Myricom mapper run
         concurrently too ("both algorithms have two operational modes")."""
         seq = validate_turns(turns, allow_zero=True, limit=self._turn_limit)
-        path = evaluate_route(self._net, self._mapper, seq)
+        info = self._evaluator.probe_info(self._mapper, seq, self._collision)
         hit = False
-        if (
-            path.status is PathStatus.DELIVERED
-            and path.delivered_to == self._mapper
-            and self._collision.blocked_at(path.traversals) is None
-        ):
-            placement = self._fabric.occupancy.try_place(path, self._sched.now)
+        if info.ok and info.delivered_to == self._mapper and info.blocked is None:
+            placement = self._fabric.occupancy.try_place(info, self._sched.now)
             if placement.ok:
                 hit = True
             else:
                 self.lost_to_contention += 1
         cost = (
-            self._timing.probe_response_us(path.hops, 0)
+            self._timing.probe_response_us(info.hops, 0)
             if hit
             else self._timing.probe_timeout_us()
         )
@@ -186,21 +180,18 @@ class _ConcurrentProbeService:
     def probe_switch(self, turns: Turns) -> bool:
         turns = validate_turns(turns, limit=self._turn_limit)
         loop = switch_probe_turns(turns, limit=self._turn_limit)
-        path = evaluate_route(self._net, self._mapper, loop)
+        info = self._evaluator.probe_info(self._mapper, loop, self._collision)
         hit = False
-        if (
-            path.status is PathStatus.DELIVERED
-            and self._collision.blocked_at(path.traversals) is None
-        ):
+        if info.ok and info.blocked is None:
             placement = self._fabric.occupancy.try_place(
-                path, self._sched.now
+                info, self._sched.now
             )
             if placement.ok:
                 hit = True
             else:
                 self.lost_to_contention += 1
         cost = (
-            self._timing.probe_response_us(path.hops, 0)
+            self._timing.probe_response_us(info.hops, 0)
             if hit
             else self._timing.probe_timeout_us()
         )

@@ -41,7 +41,7 @@ from dataclasses import dataclass
 
 from repro.core.mapper import BerkeleyMapper, MapResult
 from repro.simulator.collision import CircuitModel, CollisionModel
-from repro.simulator.path_eval import PathStatus, evaluate_route
+from repro.simulator.path_eval import IncrementalPathEvaluator
 from repro.simulator.probes import ProbeKind, ProbeRecord, ProbeStats
 from repro.simulator.quiescent import QuiescentProbeService
 from repro.simulator.timing import MYRINET_TIMING, TimingModel
@@ -148,6 +148,9 @@ class _ElectionProbeService:
         self._inner = QuiescentProbeService(
             net, winner, collision=collision, timing=timing
         )
+        # Own trie: probe addresses here arrive in the same extension order
+        # as the quiescent case, and elections have no fault model to track.
+        self._evaluator = IncrementalPathEvaluator(net)
         self._net = net
         self._winner = winner
         self._timing = timing
@@ -206,25 +209,23 @@ class _ElectionProbeService:
         turns = validate_turns(turns)
         t_send = self.now_us
         self._advance_rivals(t_send)
-        path = evaluate_route(self._net, self._winner, turns)
+        info = self._evaluator.probe_info(self._winner, turns, self._inner.collision)
         hit = False
         responder = None
-        if path.status is PathStatus.DELIVERED:
-            blocked = self._inner.collision.blocked_at(path.traversals)
-            if blocked is None:
-                target = path.delivered_to
-                assert target is not None
-                arrival = t_send + self._timing.wire_time_us(path.hops)
-                if target == self._winner or not self._is_active(target, arrival):
-                    hit = True
-                    responder = target
-                else:
-                    # Busy rival: no answer — but it heard our address.
-                    self.anchor_misses += 1
-                    if self._winner > target:
-                        self._yielded.setdefault(target, arrival)
+        if info.ok and info.blocked is None:
+            target = info.delivered_to
+            assert target is not None
+            arrival = t_send + self._timing.wire_time_us(info.hops)
+            if target == self._winner or not self._is_active(target, arrival):
+                hit = True
+                responder = target
+            else:
+                # Busy rival: no answer — but it heard our address.
+                self.anchor_misses += 1
+                if self._winner > target:
+                    self._yielded.setdefault(target, arrival)
         cost = self._jittered(
-            self._timing.probe_response_us(path.hops, path.hops)
+            self._timing.probe_response_us(info.hops, info.hops)
             if hit
             else self._timing.probe_timeout_us()
         )
@@ -235,13 +236,10 @@ class _ElectionProbeService:
         turns = validate_turns(turns)
         self._advance_rivals(self.now_us)
         loop = switch_probe_turns(turns)
-        path = evaluate_route(self._net, self._winner, loop)
-        hit = False
-        if path.status is PathStatus.DELIVERED:
-            if self._inner.collision.blocked_at(path.traversals) is None:
-                hit = True
+        info = self._evaluator.probe_info(self._winner, loop, self._inner.collision)
+        hit = info.ok and info.blocked is None
         cost = self._jittered(
-            self._timing.probe_response_us(path.hops, 0)
+            self._timing.probe_response_us(info.hops, 0)
             if hit
             else self._timing.probe_timeout_us()
         )

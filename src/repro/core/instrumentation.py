@@ -9,6 +9,11 @@ turns a kept probe trace into the distributions that explain it:
   to fall off the network, and replicate exploration grows with depth);
 - cost decomposition into answered time vs timeout time;
 - the running cost curve (for plotting Figure-7-style progress).
+
+It also formats the evaluation-cache counters
+(:class:`~repro.simulator.path_eval.EvalCacheStats`) for the ``san-map map
+--stats`` flag and the experiment summaries — one shared renderer so every
+surface prints the same line.
 """
 
 from __future__ import annotations
@@ -16,9 +21,26 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
+from repro.simulator.path_eval import EvalCacheStats
 from repro.simulator.probes import ProbeKind, ProbeRecord, ProbeStats
 
-__all__ = ["TraceAnalysis", "analyze_trace"]
+__all__ = ["TraceAnalysis", "analyze_trace", "cache_summary"]
+
+
+def cache_summary(stats: EvalCacheStats | None) -> str:
+    """One-line rendering of the probe-evaluation cache counters.
+
+    ``None`` (service running with ``use_cache=False``, or one that has no
+    cache at all) renders as disabled rather than erroring, so callers can
+    pass ``getattr(svc, "eval_cache_stats", None)`` unconditionally.
+    """
+    if stats is None:
+        return "eval cache: disabled"
+    return (
+        f"eval cache: {stats.hits} hits / {stats.misses} misses "
+        f"({stats.hit_rate:.1%} hit rate), {stats.nodes} trie nodes, "
+        f"{stats.invalidations} invalidations"
+    )
 
 
 @dataclass(slots=True)

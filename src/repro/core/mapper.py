@@ -248,6 +248,11 @@ class BerkeleyMapper:
 
     def _explore(self, v: MergedVertex) -> None:
         plan = self._planner.new_plan()
+        # Every probe below extends v's probe string by one turn; tell a
+        # caching service so the shared prefix is walked once, not per probe.
+        warm = getattr(self._svc, "warm_prefix", None)
+        if warm is not None:
+            warm(v.probe_string)
         # Knowledge inherited from merged replicates: every known index is a
         # confirmed wire (narrowing the entry-port window), and re-probing it
         # cannot teach anything — an actual port has exactly one cable.

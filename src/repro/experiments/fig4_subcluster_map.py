@@ -11,8 +11,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.instrumentation import cache_summary
 from repro.core.mapper import BerkeleyMapper, MapResult
 from repro.experiments.common import system
+from repro.simulator.path_eval import EvalCacheStats
 from repro.simulator.quiescent import QuiescentProbeService
 from repro.topology.isomorphism import IsomorphismReport, match_networks
 from repro.topology.render import to_ascii, to_dot
@@ -27,6 +29,7 @@ class MapExperiment:
     verification: IsomorphismReport
     ascii_map: str
     dot_source: str
+    cache: EvalCacheStats | None = None
 
 
 def run(name: str = "C") -> MapExperiment:
@@ -42,6 +45,7 @@ def run(name: str = "C") -> MapExperiment:
         verification=verification,
         ascii_map=to_ascii(result.network, title=f"map of {name}"),
         dot_source=to_dot(result.network, title=f"san-map-{name}"),
+        cache=svc.eval_cache_stats,
     )
 
 
@@ -53,6 +57,7 @@ def main() -> None:
         f"{bool(exp.verification)}"
         + (f" ({exp.verification.reason})" if exp.verification.reason else "")
     )
+    print(cache_summary(exp.cache))
     print(
         f"(Graphviz source available from run().dot_source — "
         f"{len(exp.dot_source.splitlines())} lines)"

@@ -33,6 +33,9 @@ def main() -> None:
         f"peak model nodes: {exp.result.peak_model_nodes}, "
         f"simulated time: {exp.result.elapsed_ms:.0f} ms"
     )
+    from repro.core.instrumentation import cache_summary
+
+    print(cache_summary(exp.cache))
 
 
 if __name__ == "__main__":

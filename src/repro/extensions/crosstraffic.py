@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from repro.core.mapper import BerkeleyMapper, MappingError
 from repro.simulator.collision import CircuitModel, CollisionModel
 from repro.simulator.occupancy import ChannelOccupancy
-from repro.simulator.path_eval import PathStatus, evaluate_route
+from repro.simulator.path_eval import ProbeInfo
 from repro.simulator.probes import ProbeKind, ProbeRecord, ProbeStats
 from repro.simulator.quiescent import QuiescentProbeService
 from repro.simulator.timing import MYRINET_TIMING, TimingModel
@@ -85,12 +85,12 @@ class CrossTrafficProbeService(QuiescentProbeService):
         )
         self.probes_lost_to_traffic = 0
 
-    def _traffic_blocks(self, path) -> bool:
+    def _traffic_blocks(self, info: ProbeInfo) -> bool:
         now = self._stats.elapsed_us
         # Lazily generate traffic slightly past the current clock so the
         # probe contends with everything in flight around it.
         self.traffic.fill_until(now + 10_000.0)
-        placement = self.occupancy.try_place(path, now, record_blocked=False)
+        placement = self.occupancy.try_place(info, now, record_blocked=False)
         if not placement.ok:
             self.probes_lost_to_traffic += 1
             return True
@@ -98,22 +98,22 @@ class CrossTrafficProbeService(QuiescentProbeService):
 
     def probe_host(self, turns: Turns) -> str | None:
         turns = validate_turns(turns)
-        path = evaluate_route(self.net, self.mapper, turns)
+        info = self._probe_info(turns)
         hit = False
         responder = None
         if (
-            path.status is PathStatus.DELIVERED
-            and self.collision.blocked_at(path.traversals) is None
-            and not self.faults.kills_probe(path)
-            and not self._traffic_blocks(path)
+            info.ok
+            and info.blocked is None
+            and not self.faults.kills_traversals(info.traversals)
+            and not self._traffic_blocks(info)
         ):
-            target = path.delivered_to
+            target = info.delivered_to
             assert target is not None
             if self._responds(target):
                 hit = True
                 responder = target
         cost = self._jittered(
-            self.timing.probe_response_us(path.hops, path.hops)
+            self.timing.probe_response_us(info.hops, info.hops)
             if hit
             else self.timing.probe_timeout_us()
         )
@@ -123,15 +123,15 @@ class CrossTrafficProbeService(QuiescentProbeService):
     def probe_switch(self, turns: Turns) -> bool:
         turns = validate_turns(turns)
         loop = switch_probe_turns(turns)
-        path = evaluate_route(self.net, self.mapper, loop)
+        info = self._probe_info(loop)
         hit = (
-            path.status is PathStatus.DELIVERED
-            and self.collision.blocked_at(path.traversals) is None
-            and not self.faults.kills_probe(path)
-            and not self._traffic_blocks(path)
+            info.ok
+            and info.blocked is None
+            and not self.faults.kills_traversals(info.traversals)
+            and not self._traffic_blocks(info)
         )
         cost = self._jittered(
-            self.timing.probe_response_us(path.hops, 0)
+            self.timing.probe_response_us(info.hops, 0)
             if hit
             else self.timing.probe_timeout_us()
         )

@@ -30,7 +30,7 @@ from __future__ import annotations
 import random
 
 from repro.core.mapper import BerkeleyMapper
-from repro.simulator.path_eval import PathStatus, evaluate_route
+from repro.simulator.path_eval import PathStatus
 from repro.simulator.probes import ProbeKind, ProbeRecord
 from repro.simulator.quiescent import QuiescentProbeService
 from repro.simulator.turns import Turns, validate_turns
@@ -48,7 +48,7 @@ class EarlyHostProbeService(QuiescentProbeService):
         turn string that reached the host, or ``None``.
         """
         turns = validate_turns(turns)
-        path = evaluate_route(self.net, self.mapper, turns)
+        path = self._path(turns)
         host: str | None = None
         prefix: Turns = turns
         if path.status is PathStatus.DELIVERED:

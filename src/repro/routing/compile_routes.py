@@ -23,7 +23,18 @@ from repro.simulator.path_eval import Traversal
 from repro.simulator.turns import Turns
 from repro.topology.model import HOST_PORT, Network, PortRef, Wire
 
-__all__ = ["CompiledRoute", "RouteTable", "compile_route_tables", "path_to_turns"]
+__all__ = [
+    "CompiledRoute",
+    "RouteTable",
+    "WireIndex",
+    "build_wire_index",
+    "compile_route_tables",
+    "path_to_turns",
+]
+
+#: Parallel-cable candidates per directed node pair, pre-sorted by endpoint
+#: (the deterministic order the seeded RNG draws from).
+WireIndex = dict[tuple[str, str], list[Wire]]
 
 
 @dataclass(frozen=True, slots=True)
@@ -54,24 +65,51 @@ class RouteTable:
         return len(self.routes)
 
 
+def build_wire_index(net: Network) -> WireIndex:
+    """Index the wire list by directed node pair (one O(E) pass).
+
+    :func:`compile_route_tables` compiles O(hosts²) routes, and every hop of
+    every route used to rescan ``net.wires_of(u)``; the index makes the scan
+    a dict lookup. Candidates are pre-sorted exactly as the per-hop path
+    sorted them, so the seeded parallel-wire draw is unchanged.
+    """
+    index: WireIndex = {}
+    for wire in net.wires:
+        u, v = wire.nodes
+        if u == v:
+            continue  # self-loop cables never carry a route hop
+        index.setdefault((u, v), []).append(wire)
+        index.setdefault((v, u), []).append(wire)
+    for candidates in index.values():
+        candidates.sort(key=lambda w: (w.a, w.b))
+    return index
+
+
 def _pick_wire(
     net: Network,
     u: str,
     v: str,
     orientation: UpDownOrientation | None,
     rng: random.Random,
+    wire_index: WireIndex | None = None,
 ) -> Wire:
     """A wire between u and v; random among parallel cables (load balance)."""
-    candidates = [
-        w
-        for w in net.wires_of(u)
-        if {w.a.node, w.b.node} == {u, v} and w.a.node != w.b.node
-    ]
+    if wire_index is not None:
+        candidates = wire_index.get((u, v), [])
+    else:
+        candidates = sorted(
+            (
+                w
+                for w in net.wires_of(u)
+                if {w.a.node, w.b.node} == {u, v} and w.a.node != w.b.node
+            ),
+            key=lambda w: (w.a, w.b),
+        )
     if not candidates:
         raise ValueError(f"no wire between {u} and {v}")
     if len(candidates) == 1:
         return candidates[0]
-    return rng.choice(sorted(candidates, key=lambda w: (w.a, w.b)))
+    return rng.choice(candidates)
 
 
 def path_to_turns(
@@ -80,6 +118,7 @@ def path_to_turns(
     *,
     orientation: UpDownOrientation | None = None,
     rng: random.Random | None = None,
+    wire_index: WireIndex | None = None,
 ) -> CompiledRoute:
     """Compile a host-to-host node path into a relative-turn source route."""
     if len(node_path) < 2:
@@ -91,7 +130,7 @@ def path_to_turns(
 
     traversals: list[Traversal] = []
     for u, v in zip(node_path, node_path[1:]):
-        wire = _pick_wire(net, u, v, orientation, rng)
+        wire = _pick_wire(net, u, v, orientation, rng, wire_index)
         end_u = wire.a if wire.a.node == u else wire.b
         traversals.append(Traversal(end_u, wire.other_end(end_u)))
 
@@ -114,6 +153,7 @@ def compile_route_tables(
 ) -> dict[str, RouteTable]:
     """Route tables for every host pair with a compliant path."""
     rng = random.Random(seed)
+    wire_index = build_wire_index(net)
     tables: dict[str, RouteTable] = {h: RouteTable(h) for h in sorted(net.hosts)}
     for src in sorted(net.hosts):
         for dst in sorted(net.hosts):
@@ -123,6 +163,6 @@ def compile_route_tables(
             if node_path is None:
                 continue
             tables[src].routes[dst] = path_to_turns(
-                net, node_path, orientation=orientation, rng=rng
+                net, node_path, orientation=orientation, rng=rng, wire_index=wire_index
             )
     return tables

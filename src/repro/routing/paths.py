@@ -31,9 +31,74 @@ import numpy as np
 from repro.routing.updown import UpDownOrientation
 from repro.topology.model import Network
 
-__all__ = ["RoutingPaths", "all_pairs_updown_paths", "bfs_updown_lengths"]
+__all__ = [
+    "PhaseGraph",
+    "RoutingPaths",
+    "all_pairs_updown_paths",
+    "bfs_updown_lengths",
+    "build_phase_graph",
+]
 
 _INF = np.iinfo(np.int32).max // 4
+
+
+@dataclass(slots=True)
+class PhaseGraph:
+    """The up/down phase adjacency, built once and shared across queries.
+
+    Both the Floyd–Warshall sweep and every per-root BFS need the same
+    oriented adjacency; previously each call re-derived it from the wire
+    list (O(E) per root). ``topology_epoch`` records the network state the
+    graph was built against, so consumers can detect staleness the same
+    way the probe-evaluation trie does.
+    """
+
+    nodes: list[str]
+    index: dict[str, int]
+    up_adj: list[list[int]]
+    down_adj: list[list[int]]
+    topology_epoch: int
+
+    def current_for(self, net: Network) -> bool:
+        return self.topology_epoch == net.topology_epoch
+
+
+def build_phase_graph(net: Network, orientation: UpDownOrientation) -> PhaseGraph:
+    """Derive the phase-graph adjacency from the wire list (one O(E) pass)."""
+    nodes = sorted(net.nodes)
+    index = {name: i for i, name in enumerate(nodes)}
+    n = len(nodes)
+    up_adj: list[list[int]] = [[] for _ in range(n)]
+    down_adj: list[list[int]] = [[] for _ in range(n)]
+    up_seen: list[set[int]] = [set() for _ in range(n)]
+    down_seen: list[set[int]] = [set() for _ in range(n)]
+    for wire in net.wires:
+        u, v = wire.nodes
+        if u == v:
+            continue  # self-loop cables are useless for routing
+        for x, y in ((u, v), (v, u)):
+            ix, iy = index[x], index[y]
+            adj, seen = (
+                (up_adj, up_seen) if orientation.is_up(x, y) else (down_adj, down_seen)
+            )
+            if iy not in seen[ix]:  # parallel cables add no new arcs
+                seen[ix].add(iy)
+                adj[ix].append(iy)
+    return PhaseGraph(
+        nodes=nodes,
+        index=index,
+        up_adj=up_adj,
+        down_adj=down_adj,
+        topology_epoch=net.topology_epoch,
+    )
+
+
+def _graph_for(
+    net: Network, orientation: UpDownOrientation, graph: PhaseGraph | None
+) -> PhaseGraph:
+    if graph is not None and graph.current_for(net):
+        return graph
+    return build_phase_graph(net, orientation)
 
 
 @dataclass(slots=True)
@@ -77,11 +142,19 @@ class RoutingPaths:
 
 
 def all_pairs_updown_paths(
-    net: Network, orientation: UpDownOrientation
+    net: Network,
+    orientation: UpDownOrientation,
+    *,
+    graph: PhaseGraph | None = None,
 ) -> RoutingPaths:
-    """Floyd–Warshall over the up/down phase graph (vectorized min-plus)."""
-    nodes = sorted(net.nodes)
-    index = {name: i for i, name in enumerate(nodes)}
+    """Floyd–Warshall over the up/down phase graph (vectorized min-plus).
+
+    Pass a prebuilt (and still current) :class:`PhaseGraph` to skip the
+    adjacency derivation; a stale graph is silently rebuilt.
+    """
+    graph = _graph_for(net, orientation, graph)
+    nodes = graph.nodes
+    index = graph.index
     n = len(nodes)
     m = 2 * n  # states: [0, n) = UP phase, [n, 2n) = DOWN phase
     dist = np.full((m, m), _INF, dtype=np.int32)
@@ -97,17 +170,12 @@ def all_pairs_updown_paths(
             dist[a, b] = 1
             succ[a, b] = b
 
-    for wire in net.wires:
-        u, v = wire.nodes
-        if u == v:
-            continue  # self-loop cables are useless for routing
-        iu, iv = index[u], index[v]
-        for x, y in ((iu, iv), (iv, iu)):
-            if orientation.is_up(nodes[x], nodes[y]):
-                arc(x, y)          # UP -> UP
-            else:
-                arc(x, y + n)      # UP -> DOWN (the single allowed turn)
-                arc(x + n, y + n)  # DOWN -> DOWN
+    for x in range(n):
+        for y in graph.up_adj[x]:
+            arc(x, y)          # UP -> UP
+        for y in graph.down_adj[x]:
+            arc(x, y + n)      # UP -> DOWN (the single allowed turn)
+            arc(x + n, y + n)  # DOWN -> DOWN
 
     # Min-plus Floyd–Warshall with numpy row/column broadcasting.
     for k in range(m):
@@ -120,23 +188,21 @@ def all_pairs_updown_paths(
 
 
 def bfs_updown_lengths(
-    net: Network, orientation: UpDownOrientation, source: str
+    net: Network,
+    orientation: UpDownOrientation,
+    source: str,
+    *,
+    graph: PhaseGraph | None = None,
 ) -> dict[str, int]:
-    """Independent single-source compliant-path lengths (for cross-checks)."""
-    nodes = sorted(net.nodes)
-    index = {name: i for i, name in enumerate(nodes)}
-    n = len(nodes)
-    up_adj: dict[int, set[int]] = {i: set() for i in range(n)}
-    down_adj: dict[int, set[int]] = {i: set() for i in range(n)}
-    for wire in net.wires:
-        u, v = wire.nodes
-        if u == v:
-            continue
-        for x, y in ((u, v), (v, u)):
-            if orientation.is_up(x, y):
-                up_adj[index[x]].add(index[y])
-            else:
-                down_adj[index[x]].add(index[y])
+    """Independent single-source compliant-path lengths (for cross-checks).
+
+    ``graph`` reuses one adjacency across the per-root calls — without it
+    every root re-derives the same O(E) structure.
+    """
+    graph = _graph_for(net, orientation, graph)
+    nodes = graph.nodes
+    index = graph.index
+    up_adj, down_adj = graph.up_adj, graph.down_adj
     # BFS over states (node, phase).
     start = (index[source], 0)
     seen = {start: 0}

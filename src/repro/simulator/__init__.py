@@ -29,7 +29,14 @@ from repro.simulator.turns import (
     switch_probe_turns,
     validate_turns,
 )
-from repro.simulator.path_eval import PathStatus, PathResult, evaluate_route
+from repro.simulator.path_eval import (
+    EvalCacheStats,
+    IncrementalPathEvaluator,
+    PathStatus,
+    PathResult,
+    ProbeInfo,
+    evaluate_route,
+)
 from repro.simulator.collision import (
     CircuitModel,
     CollisionModel,
@@ -45,11 +52,14 @@ __all__ = [
     "CircuitModel",
     "CollisionModel",
     "CutThroughModel",
+    "EvalCacheStats",
     "FaultModel",
+    "IncrementalPathEvaluator",
     "MYRINET_TIMING",
     "PacketModel",
     "PathResult",
     "PathStatus",
+    "ProbeInfo",
     "ProbeKind",
     "ProbeService",
     "ProbeStats",

@@ -27,12 +27,19 @@ class _Event:
 
 
 class EventQueue:
-    """heapq-based future event list with cancellation."""
+    """heapq-based future event list with cancellation.
+
+    Cancellation is lazy (the handle is flagged, not removed), but the
+    queue tracks a live count so ``__len__`` is O(1), and it compacts the
+    heap whenever cancelled entries outnumber live ones — a long-running
+    scenario that schedules-and-cancels timeouts no longer leaks.
+    """
 
     def __init__(self) -> None:
         self._heap: list[_Event] = []
         self._counter = itertools.count()
         self._now = 0.0
+        self._live = 0
 
     @property
     def now(self) -> float:
@@ -44,14 +51,30 @@ class EventQueue:
             raise ValueError("cannot schedule into the past")
         ev = _Event(self._now + delay, next(self._counter), action)
         heapq.heappush(self._heap, ev)
+        self._live += 1
         return ev
 
     def schedule_at(self, time: float, action: Action) -> _Event:
-        return self.schedule(max(0.0, time - self._now), action)
+        """Schedule ``action`` at absolute ``time``; must not be in the past."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule into the past ({time} < now {self._now})"
+            )
+        return self.schedule(time - self._now, action)
 
-    @staticmethod
-    def cancel(event: _Event) -> None:
+    def cancel(self, event: _Event) -> None:
+        """Flag ``event`` dead; idempotent. The heap entry is reclaimed lazily."""
+        if event.cancelled:
+            return
         event.cancelled = True
+        self._live -= 1
+        if len(self._heap) > 2 * self._live:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (amortized O(1) per cancel)."""
+        self._heap = [ev for ev in self._heap if not ev.cancelled]
+        heapq.heapify(self._heap)
 
     def run(self, *, until: float | None = None, max_events: int = 10_000_000) -> int:
         """Process events in time order; returns the number executed."""
@@ -62,6 +85,7 @@ class EventQueue:
             ev = heapq.heappop(self._heap)
             if ev.cancelled:
                 continue
+            self._live -= 1
             self._now = ev.time
             ev.action()
             executed += 1
@@ -70,4 +94,4 @@ class EventQueue:
         return executed
 
     def __len__(self) -> int:
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        return self._live

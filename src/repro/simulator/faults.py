@@ -19,8 +19,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
-from repro.simulator.path_eval import PathResult
+from repro.simulator.path_eval import PathResult, Traversal
 
 __all__ = ["FaultModel", "NO_FAULTS"]
 
@@ -39,15 +40,34 @@ class FaultModel:
             if not 0.0 <= p <= 1.0:
                 raise ValueError("probabilities must be in [0, 1]")
         self._rng = random.Random(self.seed)
+        self._epoch = 0
 
     @property
     def active(self) -> bool:
         return bool(self.drop_prob or self.corrupt_prob or self.dead_wires)
 
+    @property
+    def fault_epoch(self) -> int:
+        """Monotone counter bumped by every mid-run reconfiguration.
+
+        Caches that memoize fault-dependent decisions key their validity on
+        this, mirroring ``Network.topology_epoch``.
+        """
+        return self._epoch
+
+    def set_dead_wires(self, dead_wires: Iterable[frozenset]) -> None:
+        """Replace the dead-wire set mid-run (models a cable failing)."""
+        self.dead_wires = frozenset(dead_wires)
+        self._epoch += 1
+
     def kills_probe(self, path: PathResult) -> bool:
         """Decide whether this (otherwise successful) probe is lost."""
+        return self.kills_traversals(path.traversals)
+
+    def kills_traversals(self, traversals: Sequence[Traversal]) -> bool:
+        """`kills_probe` on a bare traversal sequence (cached-path form)."""
         if self.dead_wires:
-            for tr in path.traversals:
+            for tr in traversals:
                 if frozenset((tr.src, tr.dst)) in self.dead_wires:
                     return True
         if self.drop_prob and self._rng.random() < self.drop_prob:

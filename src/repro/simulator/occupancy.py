@@ -21,7 +21,7 @@ from __future__ import annotations
 import bisect
 from dataclasses import dataclass, field
 
-from repro.simulator.path_eval import PathResult, Traversal
+from repro.simulator.path_eval import PathResult, ProbeInfo, Traversal
 from repro.simulator.timing import TimingModel
 
 __all__ = ["ChannelOccupancy", "WormPlacement"]
@@ -42,12 +42,44 @@ class WormPlacement:
 class ChannelOccupancy:
     """Per-channel sorted busy intervals with overlap queries."""
 
+    #: Relative-plan memo bound; cleared wholesale on overflow. Probe paths
+    #: repeat heavily (retries, X-sweeps, cross-traffic pairs), so the memo
+    #: hit rate is high; the bound keeps adversarial traffic from growing it.
+    _PLAN_MEMO_MAX = 4096
+
     def __init__(self, timing: TimingModel) -> None:
         self._timing = timing
         self._busy: dict[Channel, list[tuple[float, float]]] = {}
+        self._plan_memo: dict[tuple, list[tuple[Channel, float, float]]] = {}
+
+    def _relative_plan(
+        self, traversals, message_bytes: int | None
+    ) -> list[tuple[Channel, float, float]]:
+        """Per-channel busy offsets for a worm launched at time zero.
+
+        Offsets depend only on the traversal sequence and the message size,
+        so they are memoized across placements of the same path.
+        """
+        key = (message_bytes or 0, tuple(traversals))
+        plan = self._plan_memo.get(key)
+        if plan is None:
+            t = self._timing
+            tx = (message_bytes or t.probe_bytes) / t.link_bandwidth_bytes_per_us
+            plan = []
+            for i, tr in enumerate(traversals):
+                begin = i * t.switch_latency_us
+                end = begin + tx + t.switch_latency_us
+                plan.append(((tr.src, tr.dst), begin, end))
+            if len(self._plan_memo) >= self._PLAN_MEMO_MAX:
+                self._plan_memo.clear()
+            self._plan_memo[key] = plan
+        return plan
 
     def _intervals(
-        self, path: PathResult, start_us: float, message_bytes: int | None = None
+        self,
+        path: PathResult | ProbeInfo,
+        start_us: float,
+        message_bytes: int | None = None,
     ) -> list[tuple[Channel, float, float]]:
         """Busy interval per channel of a worm launched at ``start_us``.
 
@@ -55,19 +87,19 @@ class ChannelOccupancy:
         and stays busy until the tail clears it (one message-transmission
         time later). ``message_bytes`` overrides the probe size — cross
         traffic carries application payloads, not probe-sized messages.
+        ``path`` may be anything exposing ``.traversals`` (a full
+        :class:`PathResult` or the evaluator's lightweight ``ProbeInfo``).
         """
-        t = self._timing
-        tx = (message_bytes or t.probe_bytes) / t.link_bandwidth_bytes_per_us
-        out = []
-        for i, tr in enumerate(path.traversals):
-            begin = start_us + i * t.switch_latency_us
-            end = begin + tx + t.switch_latency_us
-            out.append(((tr.src, tr.dst), begin, end))
-        return out
+        return [
+            (channel, start_us + begin, start_us + end)
+            for channel, begin, end in self._relative_plan(
+                path.traversals, message_bytes
+            )
+        ]
 
     def try_place(
         self,
-        path: PathResult,
+        path: PathResult | ProbeInfo,
         start_us: float,
         *,
         record_blocked: bool = True,

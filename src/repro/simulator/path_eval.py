@@ -19,11 +19,23 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.topology.model import HOST_PORT, Network, PortRef
 
-__all__ = ["PathStatus", "Traversal", "PathResult", "evaluate_route"]
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.simulator.collision import CollisionModel
+    from repro.simulator.faults import FaultModel
+
+__all__ = [
+    "EvalCacheStats",
+    "IncrementalPathEvaluator",
+    "PathStatus",
+    "ProbeInfo",
+    "Traversal",
+    "PathResult",
+    "evaluate_route",
+]
 
 
 class PathStatus(enum.Enum):
@@ -125,3 +137,455 @@ def evaluate_route(
         return result
     result.delivered_to = current.node
     return result
+
+
+@dataclass(frozen=True, slots=True)
+class EvalCacheStats:
+    """Snapshot of an :class:`IncrementalPathEvaluator`'s counters."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    evaluations: int = 0
+    nodes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeInfo:
+    """The slice of a path evaluation the probe hot path actually needs.
+
+    Unlike :class:`PathResult` this carries no node list and shares its
+    traversal tuple with the evaluator's trie, so constructing one is O(1).
+    ``blocked`` is the collision model's verdict (index of the first
+    self-blocking traversal) and is only meaningful when ``ok``.
+    """
+
+    status: PathStatus
+    hops: int
+    delivered_to: str | None
+    blocked: int | None
+    traversals: tuple[Traversal, ...]
+
+    @property
+    def ok(self) -> bool:
+        return self.status is PathStatus.DELIVERED
+
+
+_FAILED = (
+    PathStatus.ILLEGAL_TURN,
+    PathStatus.NO_SUCH_WIRE,
+    PathStatus.HIT_HOST_TOO_SOON,
+    PathStatus.NOT_ATTACHED,
+)
+
+
+class _TrieNode:
+    """One cached walk state: the message after consuming a turns-prefix.
+
+    ``status`` is ``None`` while the walk is still in flight (the message
+    sits at ``current``); otherwise the node is *absorbing* — the prefix
+    already failed, and every extension yields the identical failure, so
+    children are never materialized past it.
+    """
+
+    __slots__ = (
+        "children",
+        "current",
+        "current_is_host",
+        "current_radix",
+        "status",
+        "failed_at",
+        "nodes",
+        "traversals",
+        "collision_memo",
+        "loopback_traversals",
+        "loopback_memo",
+        "chan_set",
+        "fwd_blocked",
+        "last_rev",
+    )
+
+    def __init__(
+        self,
+        *,
+        current: PortRef | None,
+        current_is_host: bool,
+        current_radix: int,
+        status: PathStatus | None,
+        failed_at: int | None,
+        nodes: tuple[str, ...],
+        traversals: tuple[Traversal, ...],
+    ) -> None:
+        self.children: dict[int, _TrieNode] = {}
+        self.current = current
+        self.current_is_host = current_is_host
+        self.current_radix = current_radix
+        self.status = status
+        self.failed_at = failed_at
+        self.nodes = nodes
+        self.traversals = traversals
+        # Per-node memo of collision-model verdicts, keyed by the (frozen,
+        # hashable) model instance. Lazily created: most nodes never reach
+        # a delivered terminal.
+        self.collision_memo: dict[object, int | None] | None = None
+        # Lazily-built traversal tuple of this prefix's switch-probe
+        # loopback (out along the prefix, bounce, retrace), plus its own
+        # collision memo.
+        self.loopback_traversals: tuple[Traversal, ...] | None = None
+        self.loopback_memo: dict[object, int | None] | None = None
+        # Incremental circuit-model state (in-flight nodes only):
+        # the directed channels crossed so far, the index of the first
+        # directed re-crossing (None while all are distinct), and the
+        # largest index whose reverse channel was also crossed (drives the
+        # loopback verdict: a retrace re-crosses every wire backwards).
+        self.chan_set: set | None = None
+        self.fwd_blocked: int | None = None
+        self.last_rev: int | None = None
+
+
+class IncrementalPathEvaluator:
+    """Prefix-trie cache over :func:`evaluate_route`.
+
+    Keyed on ``(source host, turns-prefix)``: each trie node stores the
+    walk state after consuming that prefix, so evaluating ``turns + (a,)``
+    right after ``turns`` costs one switch-hop instead of ``len(turns)+1``.
+    That is exactly the access pattern of the mapper's explore loop, which
+    extends known probe strings one turn at a time.
+
+    Correctness is guarded by epoch counters: the whole trie is dropped
+    whenever ``net.topology_epoch`` or (if a fault model is attached)
+    ``faults.fault_epoch`` moves, so a mutated network or a mid-run cable
+    failure can never serve stale paths. Results are byte-identical to the
+    pure function — including the ``ValueError`` on a non-host source.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        *,
+        faults: "FaultModel | None" = None,
+        max_nodes: int = 1_000_000,
+    ) -> None:
+        self._net = net
+        self._faults = faults
+        self._max_nodes = max_nodes
+        # Resolved here (not at module level) to avoid an import cycle:
+        # collision.py imports Traversal from this module.
+        from repro.simulator.collision import CircuitModel
+
+        self._circuit_type = CircuitModel
+        self._roots: dict[str, _TrieNode] = {}
+        self._topo_epoch = net.topology_epoch
+        self._fault_epoch = faults.fault_epoch if faults is not None else 0
+        self._n_nodes = 0
+        self._hits = 0
+        self._misses = 0
+        self._invalidations = 0
+        self._evaluations = 0
+
+    @property
+    def stats(self) -> EvalCacheStats:
+        return EvalCacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            invalidations=self._invalidations,
+            evaluations=self._evaluations,
+            nodes=self._n_nodes,
+        )
+
+    def invalidate(self) -> None:
+        """Drop every cached walk (counted in ``stats.invalidations``)."""
+        self._roots.clear()
+        self._n_nodes = 0
+        self._invalidations += 1
+        self._topo_epoch = self._net.topology_epoch
+        if self._faults is not None:
+            self._fault_epoch = self._faults.fault_epoch
+
+    def _fresh(self) -> bool:
+        if self._net.topology_epoch != self._topo_epoch:
+            return False
+        if self._faults is not None and self._faults.fault_epoch != self._fault_epoch:
+            return False
+        return True
+
+    def _root(self, h0: str) -> _TrieNode:
+        root = self._roots.get(h0)
+        if root is not None:
+            self._hits += 1
+            return root
+        net = self._net
+        if not net.is_host(h0):
+            raise ValueError(f"source {h0} is not a host")
+        attach = net.neighbor_at(h0, HOST_PORT)
+        if attach is None:
+            root = _TrieNode(
+                current=None,
+                current_is_host=False,
+                current_radix=0,
+                status=PathStatus.NOT_ATTACHED,
+                failed_at=None,
+                nodes=(h0,),
+                traversals=(),
+            )
+        else:
+            root = _TrieNode(
+                current=attach,
+                current_is_host=net.is_host(attach.node),
+                current_radix=net.radix(attach.node),
+                status=None,
+                failed_at=None,
+                nodes=(h0, attach.node),
+                traversals=(Traversal(PortRef(h0, HOST_PORT), attach),),
+            )
+            root.chan_set = {(PortRef(h0, HOST_PORT), attach)}
+        self._roots[h0] = root
+        self._n_nodes += 1
+        self._misses += 1
+        return root
+
+    def _extend(self, parent: _TrieNode, turn: int, i: int) -> _TrieNode:
+        net = self._net
+        if parent.current_is_host:
+            child = _TrieNode(
+                current=None,
+                current_is_host=False,
+                current_radix=0,
+                status=PathStatus.HIT_HOST_TOO_SOON,
+                failed_at=i,
+                nodes=parent.nodes,
+                traversals=parent.traversals,
+            )
+        else:
+            cur = parent.current
+            assert cur is not None  # in-flight nodes always have a position
+            out_port = cur.port + turn  # NOT modulo the radix (Section 2.2)
+            if not 0 <= out_port < parent.current_radix:
+                child = _TrieNode(
+                    current=None,
+                    current_is_host=False,
+                    current_radix=0,
+                    status=PathStatus.ILLEGAL_TURN,
+                    failed_at=i,
+                    nodes=parent.nodes,
+                    traversals=parent.traversals,
+                )
+            else:
+                dst = net.neighbor_at(cur.node, out_port)
+                if dst is None:
+                    child = _TrieNode(
+                        current=None,
+                        current_is_host=False,
+                        current_radix=0,
+                        status=PathStatus.NO_SUCH_WIRE,
+                        failed_at=i,
+                        nodes=parent.nodes,
+                        traversals=parent.traversals,
+                    )
+                else:
+                    src = PortRef(cur.node, out_port)
+                    child = _TrieNode(
+                        current=dst,
+                        current_is_host=net.is_host(dst.node),
+                        current_radix=net.radix(dst.node),
+                        status=None,
+                        failed_at=None,
+                        nodes=parent.nodes + (dst.node,),
+                        traversals=parent.traversals + (Traversal(src, dst),),
+                    )
+                    # Extend the circuit-model state by one channel.
+                    pchans = parent.chan_set
+                    assert pchans is not None
+                    if parent.fwd_blocked is not None:
+                        child.fwd_blocked = parent.fwd_blocked
+                        child.chan_set = pchans  # frozen past the collision
+                    elif (src, dst) in pchans:
+                        child.fwd_blocked = i + 1  # +1: the attach hop
+                        child.chan_set = pchans
+                    else:
+                        child.chan_set = pchans | {(src, dst)}
+                        child.last_rev = (
+                            i + 1 if (dst, src) in pchans else parent.last_rev
+                        )
+        parent.children[turn] = child
+        self._n_nodes += 1
+        self._misses += 1
+        if self._n_nodes > self._max_nodes:
+            # Backstop against unbounded growth on adversarial probe sets:
+            # drop the trie but keep handing out this (still valid) node.
+            self._roots.clear()
+            self._n_nodes = 0
+            self._invalidations += 1
+        return child
+
+    def _walk(self, h0: str, seq: tuple[int, ...]) -> _TrieNode:
+        if not self._fresh():
+            self.invalidate()
+        node = self._root(h0)
+        if node.status is not None:
+            return node
+        for i, turn in enumerate(seq):
+            child = node.children.get(turn)
+            if child is None:
+                child = self._extend(node, turn, i)
+            else:
+                self._hits += 1
+            node = child
+            if node.status is not None:
+                return node
+        return node
+
+    def warm(self, h0: str, turns: Iterable[int]) -> None:
+        """Pre-walk a prefix so later extensions of it are single hops."""
+        self._walk(h0, tuple(turns))
+
+    def evaluate(self, h0: str, turns: Iterable[int]) -> PathResult:
+        """Drop-in replacement for :func:`evaluate_route`."""
+        node = self._walk(h0, tuple(turns))
+        self._evaluations += 1
+        if node.status is not None:
+            return PathResult(
+                status=node.status,
+                nodes=list(node.nodes),
+                traversals=list(node.traversals),
+                failed_at_turn=node.failed_at,
+            )
+        if node.current_is_host:
+            assert node.current is not None
+            return PathResult(
+                status=PathStatus.DELIVERED,
+                nodes=list(node.nodes),
+                traversals=list(node.traversals),
+                delivered_to=node.current.node,
+            )
+        return PathResult(
+            status=PathStatus.STRANDED,
+            nodes=list(node.nodes),
+            traversals=list(node.traversals),
+        )
+
+    def probe_info(
+        self,
+        h0: str,
+        turns: Iterable[int],
+        collision: "CollisionModel | None" = None,
+    ) -> ProbeInfo:
+        """Evaluate without materializing lists, with the collision verdict.
+
+        The collision model's ``blocked_at`` is memoized per trie node per
+        model instance (models are frozen dataclasses, hence hashable); an
+        unhashable custom model simply skips the memo.
+        """
+        node = self._walk(h0, tuple(turns))
+        self._evaluations += 1
+        if node.status is not None:
+            return ProbeInfo(node.status, len(node.traversals), None, None, node.traversals)
+        assert node.current is not None
+        if not node.current_is_host:
+            return ProbeInfo(
+                PathStatus.STRANDED, len(node.traversals), None, None, node.traversals
+            )
+        blocked: int | None = None
+        if collision is not None:
+            if collision.__class__ is self._circuit_type:
+                # Exact incremental verdict: first directed re-crossing.
+                blocked = node.fwd_blocked
+            else:
+                memo = node.collision_memo
+                if memo is None:
+                    memo = node.collision_memo = {}
+                try:
+                    blocked = memo[collision]
+                except KeyError:
+                    blocked = memo[collision] = collision.blocked_at(node.traversals)
+                except TypeError:  # unhashable model: compute, skip the memo
+                    blocked = collision.blocked_at(node.traversals)
+        return ProbeInfo(
+            PathStatus.DELIVERED,
+            len(node.traversals),
+            node.current.node,
+            blocked,
+            node.traversals,
+        )
+
+    def loopback_info(
+        self,
+        h0: str,
+        turns: Iterable[int],
+        collision: "CollisionModel | None" = None,
+    ) -> ProbeInfo:
+        """The switch-probe ``a1..ak 0 -ak..-a1`` from the forward walk only.
+
+        When the forward walk ends in flight at a switch, the bounce turn 0
+        re-crosses the entry wire and every ``-a_i`` provably retraces the
+        forward hop it negates (out-port ``p_i + a_i - a_i = p_i``, a wire
+        that exists because the forward pass crossed it), terminating back
+        at ``h0`` — so the loopback is DELIVERED with the forward traversals
+        followed by their exact reversal, and no return-half trie nodes are
+        ever built. The three failure shapes match the pure function: a
+        forward-half failure fails identically, and a forward walk that
+        lands on a host consumes the bounce as HIT_HOST_TOO_SOON.
+        """
+        node = self._walk(h0, tuple(turns))
+        self._evaluations += 1
+        if node.status is not None:
+            return ProbeInfo(node.status, len(node.traversals), None, None, node.traversals)
+        assert node.current is not None
+        if node.current_is_host:
+            # The bounce turn arrives with the message already at a host.
+            return ProbeInfo(
+                PathStatus.HIT_HOST_TOO_SOON,
+                len(node.traversals),
+                None,
+                None,
+                node.traversals,
+            )
+        if collision is not None and collision.__class__ is self._circuit_type:
+            # Exact incremental verdict. The forward channels are all
+            # distinct past ``fwd_blocked``'s check, so the loopback's
+            # first re-crossing is either the forward one or the earliest
+            # retrace of a wire the forward pass crossed both ways — the
+            # retrace visits reverses in backward order, so the *largest*
+            # such forward index blocks first, at ``2m - 1 - last_rev``.
+            m = len(node.traversals)
+            if node.fwd_blocked is not None:
+                blocked = node.fwd_blocked
+            elif node.last_rev is not None:
+                blocked = 2 * m - 1 - node.last_rev
+            else:
+                blocked = None
+            if blocked is not None:
+                # A blocked probe's traversals are never consulted by the
+                # services (no fault draw, no occupancy placement), so the
+                # forward half stands in for the full loopback.
+                return ProbeInfo(
+                    PathStatus.DELIVERED, 2 * m, h0, blocked, node.traversals
+                )
+            lb = node.loopback_traversals
+            if lb is None:
+                lb = node.loopback_traversals = node.traversals + tuple(
+                    tr.reversed() for tr in reversed(node.traversals)
+                )
+            return ProbeInfo(PathStatus.DELIVERED, len(lb), h0, None, lb)
+        lb = node.loopback_traversals
+        if lb is None:
+            lb = node.loopback_traversals = node.traversals + tuple(
+                tr.reversed() for tr in reversed(node.traversals)
+            )
+        blocked: int | None = None
+        if collision is not None:
+            memo = node.loopback_memo
+            if memo is None:
+                memo = node.loopback_memo = {}
+            try:
+                blocked = memo[collision]
+            except KeyError:
+                blocked = memo[collision] = collision.blocked_at(lb)
+            except TypeError:  # unhashable model: compute, skip the memo
+                blocked = collision.blocked_at(lb)
+        return ProbeInfo(PathStatus.DELIVERED, len(lb), h0, blocked, lb)

@@ -23,7 +23,14 @@ from dataclasses import dataclass, field
 
 from repro.simulator.collision import CircuitModel, CollisionModel
 from repro.simulator.faults import NO_FAULTS, FaultModel
-from repro.simulator.path_eval import PathStatus, evaluate_route
+from repro.simulator.path_eval import (
+    EvalCacheStats,
+    IncrementalPathEvaluator,
+    PathResult,
+    PathStatus,
+    ProbeInfo,
+    evaluate_route,
+)
 from repro.simulator.probes import ProbeKind, ProbeRecord, ProbeStats
 from repro.simulator.timing import MYRINET_TIMING, TimingModel
 from repro.simulator.turns import Turns, switch_probe_turns, validate_turns
@@ -67,6 +74,10 @@ class QuiescentProbeService:
     #: in Figure 7. Zero disables it (fully deterministic timing).
     jitter: float = 0.0
     seed: int = 0
+    #: Escape hatch: set False to re-walk every probe via the pure
+    #: :func:`evaluate_route` (used by the equivalence tests and the
+    #: cache-off benchmark arm).
+    use_cache: bool = True
 
     def __post_init__(self) -> None:
         if not self.net.is_host(self.mapper):
@@ -80,6 +91,11 @@ class QuiescentProbeService:
             (self.net.radix(s) - 1 for s in self.net.switches), default=7
         )
         self._rng = random.Random(self.seed)
+        self._evaluator = (
+            IncrementalPathEvaluator(self.net, faults=self.faults)
+            if self.use_cache
+            else None
+        )
 
     def _jittered(self, cost: float) -> float:
         if not self.jitter:
@@ -97,20 +113,18 @@ class QuiescentProbeService:
 
     def probe_host(self, turns: Turns) -> str | None:
         turns = validate_turns(turns, limit=self._turn_limit)
-        path = evaluate_route(self.net, self.mapper, turns)
+        info = self._probe_info(turns)
         hit = False
         responder: str | None = None
-        hops = path.hops
-        if path.status is PathStatus.DELIVERED:
-            blocked = self.collision.blocked_at(path.traversals)
-            if blocked is None and not self.faults.kills_probe(path):
-                target = path.delivered_to
+        if info.ok and info.blocked is None:
+            if not self.faults.kills_traversals(info.traversals):
+                target = info.delivered_to
                 assert target is not None
                 if self._responds(target):
                     hit = True
                     responder = target
         cost = self._jittered(
-            self.timing.probe_response_us(hops, hops)
+            self.timing.probe_response_us(info.hops, info.hops)
             if hit
             else self.timing.probe_timeout_us()
         )
@@ -121,17 +135,17 @@ class QuiescentProbeService:
 
     def probe_switch(self, turns: Turns) -> bool:
         turns = validate_turns(turns, limit=self._turn_limit)
-        loop = switch_probe_turns(turns, limit=self._turn_limit)
-        path = evaluate_route(self.net, self.mapper, loop)
+        info = self._loopback_info(turns)
         hit = False
-        if path.status is PathStatus.DELIVERED:
+        if info.ok:
             # By construction the loopback terminates back at the mapper.
-            assert path.delivered_to == self.mapper
-            blocked = self.collision.blocked_at(path.traversals)
-            if blocked is None and not self.faults.kills_probe(path):
+            assert info.delivered_to == self.mapper
+            if info.blocked is None and not self.faults.kills_traversals(
+                info.traversals
+            ):
                 hit = True
         cost = self._jittered(
-            self.timing.probe_response_us(path.hops, 0)
+            self.timing.probe_response_us(info.hops, 0)
             if hit
             else self.timing.probe_timeout_us()
         )
@@ -150,15 +164,15 @@ class QuiescentProbeService:
         Myricom mapper keeps its own per-category counters on top.
         """
         seq = validate_turns(turns, allow_zero=True, limit=self._turn_limit)
-        path = evaluate_route(self.net, self.mapper, seq)
+        info = self._probe_info(seq)
         hit = (
-            path.status is PathStatus.DELIVERED
-            and path.delivered_to == self.mapper
-            and self.collision.blocked_at(path.traversals) is None
-            and not self.faults.kills_probe(path)
+            info.ok
+            and info.delivered_to == self.mapper
+            and info.blocked is None
+            and not self.faults.kills_traversals(info.traversals)
         )
         cost = self._jittered(
-            self.timing.probe_response_us(path.hops, 0)
+            self.timing.probe_response_us(info.hops, 0)
             if hit
             else self.timing.probe_timeout_us()
         )
@@ -168,6 +182,49 @@ class QuiescentProbeService:
             )
         )
         return hit
+
+    # -- cached evaluation -------------------------------------------------
+    def _probe_info(self, turns: Turns) -> ProbeInfo:
+        """Walk ``turns`` from the mapper, with the collision verdict.
+
+        The cache path shares traversal tuples with the trie; the escape
+        hatch recomputes everything through the pure function. Both arms
+        draw from the fault RNG at identical points, so the two modes are
+        byte-equivalent (the property tests assert this).
+        """
+        if self._evaluator is not None:
+            return self._evaluator.probe_info(self.mapper, turns, self.collision)
+        path = evaluate_route(self.net, self.mapper, turns)  # sanlint: disable=SAN009
+        blocked = (
+            self.collision.blocked_at(path.traversals)
+            if path.status is PathStatus.DELIVERED
+            else None
+        )
+        return ProbeInfo(
+            path.status, path.hops, path.delivered_to, blocked, tuple(path.traversals)
+        )
+
+    def _loopback_info(self, turns: Turns) -> ProbeInfo:
+        """Switch-probe loopback of ``turns`` without walking the retrace."""
+        if self._evaluator is not None:
+            return self._evaluator.loopback_info(self.mapper, turns, self.collision)
+        return self._probe_info(switch_probe_turns(turns, limit=self._turn_limit))
+
+    def _path(self, turns: Turns) -> PathResult:
+        """Full :class:`PathResult` (node list included) for subclasses."""
+        if self._evaluator is not None:
+            return self._evaluator.evaluate(self.mapper, turns)
+        return evaluate_route(self.net, self.mapper, turns)  # sanlint: disable=SAN009
+
+    def warm_prefix(self, turns: Turns) -> None:
+        """Hint from the mapper: ``turns`` is about to be extended."""
+        if self._evaluator is not None:
+            self._evaluator.warm(self.mapper, turns)
+
+    @property
+    def eval_cache_stats(self) -> EvalCacheStats | None:
+        """Cache counters, or ``None`` when running with the escape hatch."""
+        return self._evaluator.stats if self._evaluator is not None else None
 
     # -- helpers ----------------------------------------------------------
     def _responds(self, host: str) -> bool:

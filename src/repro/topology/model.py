@@ -130,6 +130,7 @@ class Network:
         self._wires: dict[int, Wire] = {}
         self._port_map: dict[PortRef, int] = {}
         self._next_wire_key = 0
+        self._epoch = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -138,6 +139,7 @@ class Network:
         """Add a host node. Hosts have the single port 0."""
         self._check_fresh(name)
         self._nodes[name] = _NodeInfo(NodeKind.HOST, 1, dict(meta))
+        self._epoch += 1
         return name
 
     def add_switch(self, name: str, *, radix: int | None = None, **meta: object) -> str:
@@ -147,6 +149,7 @@ class Network:
         if r < 1:
             raise TopologyError("switch radix must be positive")
         self._nodes[name] = _NodeInfo(NodeKind.SWITCH, r, dict(meta))
+        self._epoch += 1
         return name
 
     def connect(
@@ -169,6 +172,7 @@ class Network:
         self._wires[wire.key] = wire
         self._port_map[ra] = wire.key
         self._port_map[rb] = wire.key
+        self._epoch += 1
         return wire
 
     def disconnect(self, wire: Wire) -> None:
@@ -178,6 +182,7 @@ class Network:
             raise TopologyError(f"wire {wire} not in network")
         del self._port_map[stored.a]
         del self._port_map[stored.b]
+        self._epoch += 1
 
     def remove_node(self, name: str) -> None:
         """Remove a node and every wire incident on it."""
@@ -187,6 +192,7 @@ class Network:
         for wire in list(self.wires_of(name)):
             self.disconnect(wire)
         del self._nodes[name]
+        self._epoch += 1
 
     # ------------------------------------------------------------------
     # queries
@@ -194,6 +200,16 @@ class Network:
     @property
     def default_radix(self) -> int:
         return self._default_radix
+
+    @property
+    def topology_epoch(self) -> int:
+        """Monotone mutation counter: bumped by every structural change.
+
+        Derived structures (the incremental path-evaluation trie, routing
+        adjacency) compare this against the epoch they were built at to
+        decide whether their cached view of the network is still valid.
+        """
+        return self._epoch
 
     def kind(self, name: str) -> NodeKind:
         return self._info(name).kind

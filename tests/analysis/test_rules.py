@@ -68,6 +68,13 @@ BAD_SNIPPETS = {
             into.append(1)
             return into
     """,
+    "SAN009": """
+        from repro.simulator.path_eval import evaluate_route
+
+        class FastProbeService:
+            def probe_host(self, turns):
+                return evaluate_route(self.net, self.mapper, turns)
+    """,
 }
 
 
@@ -90,8 +97,8 @@ def test_every_diag_carries_the_rules_hint(rule_id):
     assert "hint:" not in diag.render(show_hint=False)
 
 
-def test_registry_has_the_eight_domain_rules():
-    assert all_rule_ids() == [f"SAN00{i}" for i in range(1, 9)]
+def test_registry_has_the_nine_domain_rules():
+    assert all_rule_ids() == [f"SAN00{i}" for i in range(1, 10)]
 
 
 # ---------------------------------------------------------------------------
@@ -247,6 +254,52 @@ def test_san007_allows_service_classes_and_simulator_package():
 def test_san008_none_default_is_fine():
     assert ids(lint("def f(into=None):\n    return into or []\n")) == []
     assert ids(lint("f = lambda acc={}: acc\n")) == ["SAN008"]
+
+
+def test_san009_fires_in_subclassed_services_and_every_package():
+    subclass = """
+        from repro.simulator.path_eval import evaluate_route
+        from repro.simulator.quiescent import QuiescentProbeService
+
+        class Derived(QuiescentProbeService):
+            def _shortcut(self, turns):
+                return evaluate_route(self.net, self.mapper, turns)
+    """
+    assert ids(lint(subclass)) == ["SAN009"]
+    # Unlike SAN007 there is no package exemption: the simulator's own
+    # escape hatch uses line-level disable comments instead.
+    assert ids(
+        lint(BAD_SNIPPETS["SAN009"], module="repro.simulator.helper")
+    ) == ["SAN009"]
+
+
+def test_san009_quiet_outside_services_and_via_evaluator():
+    free_function = """
+        from repro.simulator.path_eval import evaluate_route
+
+        def verify(net, host, turns):
+            return evaluate_route(net, host, turns)
+    """
+    assert ids(lint(free_function)) == []
+    evaluator = """
+        from repro.simulator.path_eval import IncrementalPathEvaluator
+
+        class CachedProbeService:
+            def probe_host(self, turns):
+                return self._evaluator.probe_info(self.mapper, turns, self.collision)
+    """
+    assert ids(lint(evaluator)) == []
+
+
+def test_san009_disable_comment_is_the_escape_hatch():
+    src = """
+        from repro.simulator.path_eval import evaluate_route
+
+        class EscapeProbeService:
+            def probe_host(self, turns):
+                return evaluate_route(self.net, self.mapper, turns)  # sanlint: disable=SAN009
+    """
+    assert ids(lint(src)) == []
 
 
 # ---------------------------------------------------------------------------

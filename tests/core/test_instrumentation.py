@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.instrumentation import analyze_trace
+from repro.core.instrumentation import analyze_trace, cache_summary
 from repro.core.mapper import BerkeleyMapper
 from repro.simulator.quiescent import QuiescentProbeService
 from repro.topology.analysis import recommended_search_depth
@@ -70,3 +70,20 @@ class TestAnalyzeTrace:
         svc.probe_host((1,))
         with pytest.raises(ValueError, match="keep_trace"):
             analyze_trace(svc.stats)
+
+
+class TestCacheSummary:
+    def test_renders_live_counters(self, subcluster_c):
+        svc = QuiescentProbeService(subcluster_c, "C-svc")
+        svc.probe_host((1,))
+        svc.probe_host((1, 2))
+        line = cache_summary(svc.eval_cache_stats)
+        assert line.startswith("eval cache:")
+        assert "hit rate" in line
+        assert "trie nodes" in line
+
+    def test_disabled_cache_renders_cleanly(self, subcluster_c):
+        svc = QuiescentProbeService(subcluster_c, "C-svc", use_cache=False)
+        svc.probe_host((1,))
+        assert svc.eval_cache_stats is None
+        assert cache_summary(svc.eval_cache_stats) == "eval cache: disabled"

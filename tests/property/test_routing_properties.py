@@ -4,7 +4,11 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.routing.compile_routes import compile_route_tables
 from repro.routing.deadlock import routes_deadlock_free
-from repro.routing.paths import all_pairs_updown_paths, bfs_updown_lengths
+from repro.routing.paths import (
+    all_pairs_updown_paths,
+    bfs_updown_lengths,
+    build_phase_graph,
+)
 from repro.routing.updown import orient_updown
 from repro.simulator.path_eval import PathStatus, evaluate_route
 from repro.topology.generators import random_san
@@ -86,9 +90,10 @@ class TestUpDownInvariants:
         if net is None:
             return
         ori = orient_updown(net)
-        paths = all_pairs_updown_paths(net, ori)
+        graph = build_phase_graph(net, ori)
+        paths = all_pairs_updown_paths(net, ori, graph=graph)
         src = sorted(net.hosts)[0]
-        bfs = bfs_updown_lengths(net, ori, src)
+        bfs = bfs_updown_lengths(net, ori, src, graph=graph)
         for dst in sorted(net.nodes):
             assert paths.distance(src, dst) == bfs.get(dst), (params, dst)
 

@@ -5,7 +5,11 @@ import random
 import pytest
 
 from repro.routing.compile_routes import compile_route_tables, path_to_turns
-from repro.routing.paths import all_pairs_updown_paths, bfs_updown_lengths
+from repro.routing.paths import (
+    all_pairs_updown_paths,
+    bfs_updown_lengths,
+    build_phase_graph,
+)
 from repro.routing.updown import orient_updown
 from repro.simulator.path_eval import PathStatus, evaluate_route
 from repro.topology.generators import build_hypercube, build_mesh, build_ring
@@ -14,9 +18,10 @@ from repro.topology.generators import build_hypercube, build_mesh, build_ring
 class TestDistances:
     def test_fw_matches_bfs_cross_check(self, ring_net):
         ori = orient_updown(ring_net)
-        paths = all_pairs_updown_paths(ring_net, ori)
+        graph = build_phase_graph(ring_net, ori)  # shared across the roots
+        paths = all_pairs_updown_paths(ring_net, ori, graph=graph)
         for src in ring_net.hosts:
-            bfs = bfs_updown_lengths(ring_net, ori, src)
+            bfs = bfs_updown_lengths(ring_net, ori, src, graph=graph)
             for dst in ring_net.nodes:
                 assert paths.distance(src, dst) == bfs.get(dst), (src, dst)
 
@@ -31,10 +36,11 @@ class TestDistances:
     def test_fw_matches_bfs_on_regular_topologies(self, net_builder):
         net = net_builder()
         ori = orient_updown(net)
-        paths = all_pairs_updown_paths(net, ori)
+        graph = build_phase_graph(net, ori)
+        paths = all_pairs_updown_paths(net, ori, graph=graph)
         hosts = sorted(net.hosts)[:4]
         for src in hosts:
-            bfs = bfs_updown_lengths(net, ori, src)
+            bfs = bfs_updown_lengths(net, ori, src, graph=graph)
             for dst in hosts:
                 assert paths.distance(src, dst) == bfs.get(dst)
 

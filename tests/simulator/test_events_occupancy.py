@@ -65,6 +65,45 @@ class TestEventQueue:
         with pytest.raises(ValueError):
             EventQueue().schedule(-1.0, lambda: None)
 
+    def test_schedule_at_absolute_time(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(1.0, lambda: fired.append(q.now))
+        q.schedule_at(5.0, lambda: fired.append(q.now))
+        q.run()
+        assert fired == [1.0, 5.0]
+
+    def test_schedule_at_past_time_rejected(self):
+        q = EventQueue()
+        q.schedule(1.0, lambda: None)
+        q.run()
+        assert q.now == 1.0
+        with pytest.raises(ValueError):
+            q.schedule_at(0.5, lambda: None)
+        # Exactly "now" is fine — same contract as schedule(0.0, ...).
+        q.schedule_at(1.0, lambda: None)
+        assert q.run() == 1
+
+    def test_cancel_is_idempotent(self):
+        q = EventQueue()
+        ev = q.schedule(1.0, lambda: None)
+        keep = q.schedule(2.0, lambda: None)
+        q.cancel(ev)
+        q.cancel(ev)
+        assert len(q) == 1
+        assert q.run() == 1
+        assert keep.cancelled is False
+
+    def test_cancelled_events_are_compacted(self):
+        """Mass cancellation must not leak heap entries (len stays O(1))."""
+        q = EventQueue()
+        handles = [q.schedule(float(i + 1), lambda: None) for i in range(1000)]
+        for ev in handles[:900]:
+            q.cancel(ev)
+        assert len(q) == 100
+        assert len(q._heap) <= 2 * len(q)  # leak bound, not an O(n) scan
+        assert q.run() == 100
+
 
 def _path(*hops):
     """Build a PathResult from (node, port, node, port) hop tuples."""

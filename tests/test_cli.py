@@ -58,6 +58,12 @@ class TestMapCommand:
         main(["map", "--network", str(ring_json), "--render"])
         assert "interfaces" in capsys.readouterr().out
 
+    def test_stats_flag_prints_cache_counters(self, ring_json, capsys):
+        assert main(["map", "--network", str(ring_json), "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "eval cache:" in out
+        assert "hit rate" in out
+
 
 class TestRoutesCommand:
     def test_routes_roundtrip(self, ring_json, tmp_path):

@@ -1,0 +1,110 @@
+"""Regression-gate tests for the standalone perf harness.
+
+The gate itself must be trustworthy: these tests fabricate result JSONs
+(no benchmarks actually run) and check that a synthetic regression beyond
+the tolerance exits non-zero while noise within it passes.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+HARNESS = REPO_ROOT / "benchmarks" / "run_benchmarks.py"
+
+
+@pytest.fixture(scope="module")
+def harness():
+    spec = importlib.util.spec_from_file_location("run_benchmarks", HARNESS)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _doc(**medians_us: float) -> dict:
+    return {
+        "schema": 1,
+        "benchmarks": {
+            name: {"median_us": value, "repeats": 5}
+            for name, value in medians_us.items()
+        },
+    }
+
+
+class TestFindRegressions:
+    def test_25_percent_regression_trips_20_percent_gate(self, harness):
+        base = _doc(full_mapping=10_000.0, route_eval=15.0)
+        cur = _doc(full_mapping=12_500.0, route_eval=15.0)
+        problems = harness.find_regressions(base, cur, tolerance=0.20)
+        assert len(problems) == 1
+        assert problems[0].startswith("full_mapping:")
+
+    def test_noise_within_tolerance_passes(self, harness):
+        base = _doc(full_mapping=10_000.0)
+        cur = _doc(full_mapping=11_500.0)  # +15%
+        assert harness.find_regressions(base, cur, tolerance=0.20) == []
+
+    def test_speedups_never_trip(self, harness):
+        base = _doc(full_mapping=10_000.0)
+        cur = _doc(full_mapping=4_000.0)
+        assert harness.find_regressions(base, cur, tolerance=0.20) == []
+
+    def test_added_and_retired_benchmarks_are_ignored(self, harness):
+        base = _doc(retired=10.0, shared=100.0)
+        cur = _doc(added=10_000.0, shared=100.0)
+        assert harness.find_regressions(base, cur, tolerance=0.20) == []
+
+
+class TestGateCli:
+    """`--input` + `--check-against` is the pure compare path: no suite
+    runs, so the test exercises exactly the exit-code contract CI sees."""
+
+    def _write(self, tmp_path, name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_synthetic_25_percent_regression_exits_nonzero(
+        self, harness, tmp_path, capsys
+    ):
+        base = self._write(tmp_path, "base.json", _doc(full_mapping=10_000.0))
+        cur = self._write(tmp_path, "cur.json", _doc(full_mapping=12_500.0))
+        assert harness.main(["--check-against", base, "--input", cur]) == 1
+        assert "REGRESSIONS" in capsys.readouterr().err
+
+    def test_within_tolerance_exits_zero(self, harness, tmp_path):
+        base = self._write(tmp_path, "base.json", _doc(full_mapping=10_000.0))
+        cur = self._write(tmp_path, "cur.json", _doc(full_mapping=11_000.0))
+        assert harness.main(["--check-against", base, "--input", cur]) == 0
+
+    def test_custom_tolerance_is_respected(self, harness, tmp_path):
+        base = self._write(tmp_path, "base.json", _doc(full_mapping=10_000.0))
+        cur = self._write(tmp_path, "cur.json", _doc(full_mapping=12_500.0))
+        args = ["--check-against", base, "--input", cur, "--tolerance", "0.30"]
+        assert harness.main(args) == 0
+
+
+class TestCommittedBaselines:
+    @pytest.mark.parametrize("name", ["BENCH_micro.json", "BENCH_mapping.json"])
+    def test_baseline_is_committed_and_well_formed(self, name):
+        doc = json.loads((REPO_ROOT / "benchmarks" / name).read_text())
+        assert doc["schema"] == 1
+        assert doc["benchmarks"]
+        for entry in doc["benchmarks"].values():
+            assert entry["median_us"] > 0
+
+    def test_micro_baseline_records_the_2x_cache_speedup(self):
+        doc = json.loads(
+            (REPO_ROOT / "benchmarks" / "BENCH_micro.json").read_text()
+        )
+        benches = doc["benchmarks"]
+        cached = benches["full_mapping_subcluster_cached"]["median_us"]
+        uncached = benches["full_mapping_subcluster_uncached"]["median_us"]
+        assert uncached / cached >= 2.0
+        assert benches["full_mapping_subcluster_cached"]["extra"][
+            "cache_hit_rate"
+        ] > 0.5
