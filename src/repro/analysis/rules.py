@@ -25,6 +25,7 @@ __all__ = [
     "ProbeConstructionViaService",
     "NoMutableDefaults",
     "ServiceEvaluatesViaCache",
+    "SeededChaosSchedules",
 ]
 
 #: Switch radix of the paper's Myrinet fabric; port indices live in [0, 8).
@@ -574,4 +575,46 @@ class ServiceEvaluatesViaCache(Rule):
                 node,
                 "direct evaluate_route() call inside a ProbeService "
                 "implementation bypasses the evaluation cache",
+            )
+
+
+@register
+class SeededChaosSchedules(Rule):
+    rule_id = "SAN010"
+    title = "chaos scenarios and campaigns carry explicit seeds"
+    rationale = (
+        "A chaos cell is only evidence if it replays bit-for-bit: the "
+        "determinism oracle, the shrinker and the committed corpus all "
+        "assume that the schedule plus its seed pins every stochastic "
+        "choice. A Scenario(...) built without seed=, or a "
+        "CampaignConfig(...) without seeds=, would fall back on ambient "
+        "randomness and turn every failure it finds into an unreproducible "
+        "anecdote."
+    )
+    hint = (
+        "pass seed= to Scenario(...) and seeds=(...) to CampaignConfig(...) "
+        "as explicit keyword arguments (positional construction doesn't "
+        "count: the call must be auditable at the call site)"
+    )
+
+    _REQUIRED = {"Scenario": "seed", "CampaignConfig": "seeds"}
+
+    def check(self, module: ModuleInfo) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            needed = self._REQUIRED.get(name or "")
+            if needed is None:
+                continue
+            kwarg_names = {kw.arg for kw in node.keywords}
+            if needed in kwarg_names:
+                continue
+            if None in kwarg_names:
+                continue  # a **kwargs splat may carry it; don't guess
+            yield self.diag(
+                module,
+                node,
+                f"`{name}(...)` without an explicit `{needed}=` keyword — "
+                "an unseeded chaos schedule is not replayable",
             )

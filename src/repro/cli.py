@@ -213,6 +213,67 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos.corpus import load_corpus, replay_artifact, write_campaign_corpus
+    from repro.chaos.runner import (
+        campaign_config_from_dict,
+        demo_campaign,
+        run_campaign,
+        save_report,
+    )
+    from repro.chaos.shrink import shrink_failure
+    from repro.core.instrumentation import chaos_summary
+
+    if args.replay_corpus:
+        artifacts = load_corpus(args.replay_corpus)
+        if not artifacts:
+            print(f"san-map: error: no artifacts in {args.replay_corpus}",
+                  file=sys.stderr)
+            return 2
+        problems: list[str] = []
+        for artifact in artifacts:
+            problems.extend(replay_artifact(artifact))
+        print(f"replayed {len(artifacts)} artifacts "
+              f"({sum(len(a['cells']) for a in artifacts)} cells)")
+        for line in problems:
+            print(f"  MISMATCH {line}")
+        return 1 if problems else 0
+
+    if args.config:
+        config = campaign_config_from_dict(
+            json.loads(Path(args.config).read_text())
+        )
+    else:
+        config = demo_campaign()
+    if args.seeds is not None:
+        from dataclasses import replace
+
+        config = replace(
+            config, seeds=tuple(int(s) for s in args.seeds.split(","))
+        )
+
+    progress = print if args.verbose else None
+    report = run_campaign(config, progress=progress)
+    print(chaos_summary(report.summary(), name=report.name))
+
+    if args.shrink:
+        for cell in report.failures():
+            shrunk = shrink_failure(cell)
+            print(
+                f"shrunk {cell.scenario.name}[seed={cell.seed}]: "
+                f"{len(cell.scenario.events)} -> {shrunk.n_events} events "
+                f"({shrunk.runs} runs); still failing: "
+                f"{', '.join(shrunk.failing)}"
+            )
+    if args.report:
+        save_report(report, args.report)
+        print(f"wrote {args.report}")
+    if args.corpus:
+        written = write_campaign_corpus(args.corpus, report)
+        print(f"wrote {len(written)} corpus artifacts to {args.corpus}")
+    return 0 if report.passed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="san-map",
@@ -260,6 +321,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="actual-topology JSON to verify deliveries on")
     p.add_argument("--out", default=None)
     p.set_defaults(func=_cmd_routes)
+
+    p = sub.add_parser(
+        "chaos",
+        help="run a deterministic fault-injection campaign against the remapper",
+    )
+    p.add_argument("--config", default=None,
+                   help="campaign JSON (default: built-in demo grid)")
+    p.add_argument("--seeds", default=None,
+                   help="comma-separated seed override, e.g. 0,1,2")
+    p.add_argument("--report", default=None, help="write campaign report JSON")
+    p.add_argument("--corpus", default=None,
+                   help="write per-scenario corpus artifacts to this directory")
+    p.add_argument("--replay-corpus", default=None,
+                   help="replay committed artifacts instead of running a campaign")
+    p.add_argument("--shrink", action="store_true",
+                   help="minimize every failing cell before exiting")
+    p.add_argument("--verbose", action="store_true",
+                   help="print one line per cell as the grid runs")
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument("name", choices=list(_EXPERIMENTS) + ["all"])

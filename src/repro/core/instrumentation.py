@@ -18,13 +18,12 @@ surface prints the same line.
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.simulator.path_eval import EvalCacheStats
-from repro.simulator.probes import ProbeKind, ProbeRecord, ProbeStats
+from repro.simulator.probes import ProbeKind, ProbeStats
 
-__all__ = ["TraceAnalysis", "analyze_trace", "cache_summary"]
+__all__ = ["TraceAnalysis", "analyze_trace", "cache_summary", "chaos_summary"]
 
 
 def cache_summary(stats: EvalCacheStats | None) -> str:
@@ -41,6 +40,23 @@ def cache_summary(stats: EvalCacheStats | None) -> str:
         f"({stats.hit_rate:.1%} hit rate), {stats.nodes} trie nodes, "
         f"{stats.invalidations} invalidations"
     )
+
+
+def chaos_summary(summary: dict, *, name: str = "campaign") -> str:
+    """Multi-line rendering of a chaos campaign's aggregate counters.
+
+    Takes the plain summary dict produced by
+    :meth:`repro.chaos.runner.CampaignReport.summary` (not the report object:
+    ``core`` must stay importable without :mod:`repro.chaos`).
+    """
+    lines = [
+        f"chaos campaign {name}: {summary['passed']}/{summary['cells']} "
+        f"cells passed, {summary['cycles']} cycles, "
+        f"{summary['probes']} probes",
+    ]
+    for oracle, count in sorted(summary.get("oracle_failures", {}).items()):
+        lines.append(f"  failing oracle {oracle}: {count} cell(s)")
+    return "\n".join(lines)
 
 
 @dataclass(slots=True)

@@ -14,6 +14,7 @@ and simulations control time; a deployment would call it on a timer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Protocol
 
 from repro.core.mapper import BerkeleyMapper, MapResult
 from repro.routing.compile_routes import RouteTable, compile_route_tables
@@ -30,6 +31,11 @@ from repro.topology.diff import MapDiff, diff_networks
 from repro.topology.model import Network
 
 __all__ = ["RemapCycle", "RemapperDaemon"]
+
+
+class _Mapper(Protocol):
+    def run(self) -> MapResult:
+        ...  # pragma: no cover - protocol
 
 
 @dataclass(slots=True)
@@ -57,6 +63,11 @@ class RemapperDaemon:
     the thing to probe — all knowledge flows through the probe service it
     constructs each cycle, so topology mutations between cycles are
     discovered in-band like the real system would.
+
+    ``service_factory``, ``mapper_factory`` and ``depth_fn`` are injection
+    points for harnesses that wrap the cycle (the chaos campaign runner
+    injects fault models and mid-cycle event schedules through them); the
+    defaults reproduce the plain quiescent daemon exactly.
     """
 
     def __init__(
@@ -68,6 +79,9 @@ class RemapperDaemon:
         timing: TimingModel = MYRINET_TIMING,
         search_depth: int | None = None,
         max_explorations: int | None = 5000,
+        service_factory: Callable[[Network, str], object] | None = None,
+        mapper_factory: Callable[[object, int], _Mapper] | None = None,
+        depth_fn: Callable[[Network, str], int] | None = None,
     ) -> None:
         self._net = net
         self._mapper_host = mapper_host
@@ -75,28 +89,44 @@ class RemapperDaemon:
         self._timing = timing
         self._fixed_depth = search_depth
         self._max_explorations = max_explorations
+        self._service_factory = service_factory
+        self._mapper_factory = mapper_factory
+        self._depth_fn = depth_fn
         self.history: list[RemapCycle] = []
         self.current_map: Network | None = None
         self.current_tables: dict[str, RouteTable] | None = None
 
     # ------------------------------------------------------------------
-    def run_cycle(self) -> RemapCycle:
-        """One complete cycle; appends to and returns from ``history``."""
-        depth = self._fixed_depth or recommended_search_depth(
-            self._net, self._mapper_host
-        )
-        svc = QuiescentProbeService(
+    def _build_service(self) -> object:
+        if self._service_factory is not None:
+            return self._service_factory(self._net, self._mapper_host)
+        return QuiescentProbeService(
             self._net,
             self._mapper_host,
             collision=self._collision,
             timing=self._timing,
         )
-        result = BerkeleyMapper(
-            svc,
+
+    def _build_mapper(self, svc: object, depth: int) -> _Mapper:
+        if self._mapper_factory is not None:
+            return self._mapper_factory(svc, depth)
+        return BerkeleyMapper(
+            svc,  # type: ignore[arg-type]
             search_depth=depth,
             host_first=False,
             max_explorations=self._max_explorations,
-        ).run()
+        )
+
+    def run_cycle(self) -> RemapCycle:
+        """One complete cycle; appends to and returns from ``history``."""
+        if self._fixed_depth:
+            depth = self._fixed_depth
+        elif self._depth_fn is not None:
+            depth = self._depth_fn(self._net, self._mapper_host)
+        else:
+            depth = recommended_search_depth(self._net, self._mapper_host)
+        svc = self._build_service()
+        result = self._build_mapper(svc, depth).run()
         new_map = result.network
 
         if self.current_map is None:

@@ -12,7 +12,12 @@ experiments inject such failures:
   out-of-band link monitoring, Section 5.6).
 
 A ``FaultModel`` is deterministic given its seed, so experiment runs are
-reproducible.
+reproducible. Mid-run reconfiguration (a cable failing under the mapper, an
+operator clearing an error ramp) goes through the ``set_*`` mutators, which
+are atomic with respect to the ``fault_epoch`` counter: the new value is
+validated and fully constructed first, then the state and the epoch move
+together — a failed mutation leaves both untouched, so caches keyed on the
+epoch can never observe a half-applied fault set.
 """
 
 from __future__ import annotations
@@ -56,8 +61,31 @@ class FaultModel:
         return self._epoch
 
     def set_dead_wires(self, dead_wires: Iterable[frozenset]) -> None:
-        """Replace the dead-wire set mid-run (models a cable failing)."""
-        self.dead_wires = frozenset(dead_wires)
+        """Replace the dead-wire set mid-run (models a cable failing).
+
+        The replacement set is materialized before any state moves, so an
+        iterable that raises partway through leaves the model (and its
+        epoch) exactly as it was.
+        """
+        new = frozenset(frozenset(pair) for pair in dead_wires)
+        for pair in new:
+            if not pair:
+                raise ValueError("a dead wire needs at least one wire end")
+        self.dead_wires = new
+        self._epoch += 1
+
+    def set_drop_prob(self, drop_prob: float) -> None:
+        """Change the silent-loss probability mid-run (epoch-bumping)."""
+        if not 0.0 <= drop_prob <= 1.0:
+            raise ValueError("probabilities must be in [0, 1]")
+        self.drop_prob = drop_prob
+        self._epoch += 1
+
+    def set_corrupt_prob(self, corrupt_prob: float) -> None:
+        """Change the corruption probability mid-run (epoch-bumping)."""
+        if not 0.0 <= corrupt_prob <= 1.0:
+            raise ValueError("probabilities must be in [0, 1]")
+        self.corrupt_prob = corrupt_prob
         self._epoch += 1
 
     def kills_probe(self, path: PathResult) -> bool:

@@ -75,6 +75,11 @@ BAD_SNIPPETS = {
             def probe_host(self, turns):
                 return evaluate_route(self.net, self.mapper, turns)
     """,
+    "SAN010": """
+        from repro.chaos.scenario import Scenario
+
+        campaign = [Scenario("flaky-links", events)]
+    """,
 }
 
 
@@ -97,8 +102,8 @@ def test_every_diag_carries_the_rules_hint(rule_id):
     assert "hint:" not in diag.render(show_hint=False)
 
 
-def test_registry_has_the_nine_domain_rules():
-    assert all_rule_ids() == [f"SAN00{i}" for i in range(1, 10)]
+def test_registry_has_the_ten_domain_rules():
+    assert all_rule_ids() == [f"SAN00{i}" for i in range(1, 10)] + ["SAN010"]
 
 
 # ---------------------------------------------------------------------------
@@ -396,3 +401,36 @@ def test_syntax_error_becomes_san000(tmp_path):
     diags = lint_paths([bad])
     assert [d.rule_id for d in diags] == ["SAN000"]
     assert "could not parse" in diags[0].message
+
+
+def test_san010_requires_explicit_seed_keywords():
+    # Positional seeds don't count: the call site must be auditable.
+    positional = """
+        from repro.chaos.scenario import Scenario
+
+        s = Scenario("x", (), 3, 42)
+    """
+    assert ids(lint(positional)) == ["SAN010"]
+    unseeded_campaign = """
+        from repro.chaos.runner import CampaignConfig
+
+        c = CampaignConfig("grid", scenarios=scens, topologies=topos)
+    """
+    assert ids(lint(unseeded_campaign)) == ["SAN010"]
+
+
+def test_san010_quiet_on_seeded_and_splatted_calls():
+    seeded = """
+        from repro.chaos.runner import CampaignConfig
+        from repro.chaos.scenario import Scenario
+
+        s = Scenario("x", (), seed=42)
+        c = CampaignConfig("grid", scenarios=(s,), topologies=(), seeds=(0,))
+    """
+    assert ids(lint(seeded)) == []
+    splat = """
+        from repro.chaos.scenario import Scenario
+
+        s = Scenario("x", **loaded_kwargs)
+    """
+    assert ids(lint(splat)) == []  # a splat may carry seed=; don't guess

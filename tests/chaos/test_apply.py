@@ -1,0 +1,124 @@
+"""ScenarioApplier tests: coherence rules and epoch bookkeeping."""
+
+import pytest
+
+from repro.chaos.apply import ScenarioApplier
+from repro.chaos.scenario import ChaosEvent, ScenarioError
+from repro.simulator.faults import FaultModel
+from repro.topology.generators import build_ring
+
+
+@pytest.fixture()
+def rig():
+    net = build_ring(4)
+    faults = FaultModel(seed=0)
+    return net, faults, ScenarioApplier(net, faults)
+
+
+def _ev(action, *args):
+    return ChaosEvent(0, action, args)
+
+
+class TestCutHeal:
+    def test_cut_marks_the_cable_dead(self, rig):
+        net, faults, applier = rig
+        wire = net.wire_at("ring-s0", 1)
+        applier.apply(_ev("cut", "ring-s0", 1))
+        assert frozenset((wire.a, wire.b)) in faults.dead_wires
+        assert faults.fault_epoch == 1
+
+    def test_heal_restores(self, rig):
+        net, faults, applier = rig
+        applier.apply(_ev("cut", "ring-s0", 1))
+        applier.apply(_ev("heal", "ring-s0", 1))
+        assert not faults.dead_wires
+
+    def test_double_cut_rejected(self, rig):
+        _, _, applier = rig
+        applier.apply(_ev("cut", "ring-s0", 1))
+        with pytest.raises(ScenarioError, match="already cut"):
+            applier.apply(_ev("cut", "ring-s0", 1))
+
+    def test_heal_of_uncut_rejected(self, rig):
+        _, _, applier = rig
+        with pytest.raises(ScenarioError, match="not cut"):
+            applier.apply(_ev("heal", "ring-s0", 1))
+
+    def test_cut_of_empty_port_rejected(self, rig):
+        _, _, applier = rig
+        with pytest.raises(ScenarioError, match="no cable"):
+            applier.apply(_ev("cut", "ring-s0", 7))
+
+
+class TestKillRevive:
+    def test_kill_switch_silences_every_cable(self, rig):
+        net, faults, applier = rig
+        applier.apply(_ev("kill_switch", "ring-s1"))
+        expected = {
+            frozenset((w.a, w.b)) for w in net.wires_of("ring-s1")
+        }
+        assert faults.dead_wires == frozenset(expected)
+        assert len(expected) == 3  # two ring cables + the host drop
+
+    def test_revive_resurrects_exactly_current_cables(self, rig):
+        net, faults, applier = rig
+        applier.apply(_ev("kill_switch", "ring-s1"))
+        applier.apply(_ev("revive_switch", "ring-s1"))
+        assert not faults.dead_wires
+
+    def test_kill_unknown_node_rejected(self, rig):
+        _, _, applier = rig
+        with pytest.raises(ScenarioError, match="no such node"):
+            applier.apply(_ev("kill_host", "ghost"))
+
+    def test_revive_of_living_rejected(self, rig):
+        _, _, applier = rig
+        with pytest.raises(ScenarioError, match="not dead"):
+            applier.apply(_ev("revive_host", "ring-n000"))
+
+    def test_cut_survives_unrelated_revive(self, rig):
+        net, faults, applier = rig
+        wire = net.wire_at("ring-s0", 1)
+        applier.apply(_ev("cut", "ring-s0", 1))
+        applier.apply(_ev("kill_host", "ring-n002"))
+        applier.apply(_ev("revive_host", "ring-n002"))
+        assert faults.dead_wires == frozenset({frozenset((wire.a, wire.b))})
+
+
+class TestStructuralEvents:
+    def test_unplug_bumps_topology_epoch(self, rig):
+        net, faults, applier = rig
+        before = net.topology_epoch
+        applier.apply(_ev("unplug", "ring-s0", 1))
+        assert net.topology_epoch > before
+        assert net.wire_at("ring-s0", 1) is None
+
+    def test_unplug_clears_a_cut_on_the_same_cable(self, rig):
+        net, faults, applier = rig
+        applier.apply(_ev("cut", "ring-s0", 1))
+        applier.apply(_ev("unplug", "ring-s0", 1))
+        assert not faults.dead_wires  # gone is gone, not silently dead
+
+    def test_plug_onto_killed_switch_is_born_dead(self, rig):
+        net, faults, applier = rig
+        applier.apply(_ev("kill_switch", "ring-s2"))
+        dead_before = set(faults.dead_wires)
+        applier.apply(_ev("plug", "ring-s0", 3, "ring-s2", 3))
+        new_wire = net.wire_at("ring-s0", 3)
+        assert frozenset((new_wire.a, new_wire.b)) in faults.dead_wires
+        assert len(faults.dead_wires) == len(dead_before) + 1
+
+    def test_plug_occupied_port_rejected(self, rig):
+        _, _, applier = rig
+        with pytest.raises(ScenarioError, match="cannot apply"):
+            applier.apply(_ev("plug", "ring-s0", 1, "ring-s2", 3))
+
+
+class TestProbabilisticEvents:
+    def test_ramps_hit_the_fault_model(self, rig):
+        _, faults, applier = rig
+        applier.apply(_ev("drop", 0.4))
+        applier.apply(_ev("corrupt", 0.1))
+        assert faults.drop_prob == 0.4
+        assert faults.corrupt_prob == 0.1
+        assert faults.fault_epoch == 2

@@ -98,3 +98,104 @@ class TestIncrementalDistribution:
         full = distribute_routes(evolving_net, "h0", tables)
         incremental = distribute_incremental(evolving_net, "h0", tables, None)
         assert incremental.bytes_sent == full.bytes_sent
+
+
+class TestChaosDifferential:
+    """Differential oracle under chaos schedules: incremental maintenance
+    must be indistinguishable from recompiling everything from scratch.
+
+    Two layers: (1) the algebra — applying a generation's delta to the old
+    tables reconstructs the new ones exactly; (2) the daemon — driven
+    through cut/unplug/rewire schedules, the incrementally-distributed
+    tables it holds equal a full recompilation on its current map.
+    """
+
+    def _reconstruct(self, old, deltas):
+        """old tables ⊕ deltas, as fresh RouteTable objects."""
+        from repro.routing.compile_routes import CompiledRoute, RouteTable
+
+        rebuilt = {}
+        for host, delta in deltas.items():
+            routes = dict(old[host].routes) if host in old else {}
+            for dst in delta.withdrawn:
+                routes.pop(dst, None)
+            for dst, turns in {**delta.added, **delta.changed}.items():
+                # The wire-level trace is not part of the delta wire
+                # format; equality below is on turn strings.
+                routes[dst] = CompiledRoute(
+                    src=host, dst=dst, turns=turns, traversals=()
+                )
+            rebuilt[host] = RouteTable(host=host, routes=routes)
+        return rebuilt
+
+    def test_delta_application_reconstructs_new_generation(self, evolving_net):
+        from repro.chaos.oracles import route_tables_equal
+
+        before = _tables(evolving_net)
+        # A chaos-style rewire: the inter-switch cable moves ports.
+        evolving_net.disconnect(evolving_net.wire_at("s0", 5))
+        evolving_net.connect("s0", 7, "s1", 2)
+        after = _tables(evolving_net)
+        rebuilt = self._reconstruct(
+            before, diff_route_tables(before, after)
+        )
+        equal, why = route_tables_equal(rebuilt, after)
+        assert equal, why
+
+    @pytest.mark.parametrize(
+        "scenario_events",
+        [
+            [("cut", ("ring-s2", 1))],
+            [("unplug", ("ring-s2", 0))],
+            [("cut", ("ring-s1", 1)), ("cut", ("ring-s3", 1))],
+            [
+                ("unplug", ("ring-n003", 0)),
+                ("plug", ("ring-n003", 0, "ring-s1", 3)),
+            ],
+        ],
+        ids=["cut", "unplug", "double-cut", "rewire-host"],
+    )
+    def test_daemon_tables_match_full_recompile(self, scenario_events):
+        """After each disturbed remap cycle, the daemon's incrementally
+        distributed tables equal a from-scratch compilation of its map."""
+        from repro.chaos.apply import ScenarioApplier
+        from repro.chaos.oracles import route_tables_equal
+        from repro.chaos.scenario import ChaosEvent
+        from repro.core.remapper import RemapperDaemon
+        from repro.simulator.faults import FaultModel
+        from repro.simulator.quiescent import QuiescentProbeService
+        from repro.topology.generators import build_ring
+
+        net = build_ring(6)
+        faults = FaultModel(seed=1)
+        applier = ScenarioApplier(net, faults)
+        daemon = RemapperDaemon(
+            net,
+            "ring-n000",
+            search_depth=8,
+            service_factory=lambda n, h: QuiescentProbeService(
+                n, h, faults=faults
+            ),
+        )
+        daemon.run_cycle()  # clean baseline generation
+        for action, args in scenario_events:
+            applier.apply(ChaosEvent(1, action, args))
+        for _ in range(3):
+            before = daemon.current_tables
+            cycle = daemon.run_cycle()
+            if cycle.routes_recomputed:
+                # The algebra layer, against the live generations.
+                rebuilt = self._reconstruct(
+                    before or {},
+                    diff_route_tables(before, daemon.current_tables),
+                )
+                equal, why = route_tables_equal(
+                    rebuilt, daemon.current_tables
+                )
+                assert equal, why
+            if not cycle.changed:
+                break
+        assert daemon.current_map is not None
+        full = _tables(daemon.current_map)
+        equal, why = route_tables_equal(daemon.current_tables, full)
+        assert equal, why

@@ -52,6 +52,79 @@ class TestFaultModel:
         assert not faults.kills_probe(local)
 
 
+class TestEpochMutators:
+    """Mid-run reconfiguration must move state and fault_epoch atomically."""
+
+    def test_fresh_model_starts_at_epoch_zero(self):
+        assert FaultModel().fault_epoch == 0
+
+    def test_each_mutator_bumps_epoch_once(self, two_switch_net):
+        wire = two_switch_net.wire_at("s0", 4)
+        faults = FaultModel()
+        faults.set_drop_prob(0.25)
+        assert faults.fault_epoch == 1
+        assert faults.drop_prob == 0.25
+        faults.set_corrupt_prob(0.1)
+        assert faults.fault_epoch == 2
+        assert faults.corrupt_prob == 0.1
+        faults.set_dead_wires({frozenset((wire.a, wire.b))})
+        assert faults.fault_epoch == 3
+        assert faults.active
+
+    def test_setting_same_value_still_bumps(self):
+        """A reconfiguration is an event even if the value is unchanged —
+        cheaper than comparing, and over-invalidation is always safe."""
+        faults = FaultModel(drop_prob=0.5)
+        faults.set_drop_prob(0.5)
+        assert faults.fault_epoch == 1
+
+    def test_failed_mutation_leaves_state_and_epoch_untouched(self):
+        faults = FaultModel(drop_prob=0.5)
+        with pytest.raises(ValueError):
+            faults.set_drop_prob(1.5)
+        with pytest.raises(ValueError):
+            faults.set_corrupt_prob(-0.1)
+        assert faults.drop_prob == 0.5
+        assert faults.corrupt_prob == 0.0
+        assert faults.fault_epoch == 0
+
+    def test_failing_iterable_is_atomic(self, two_switch_net):
+        """set_dead_wires materializes its argument before any state moves."""
+        wire = two_switch_net.wire_at("s0", 4)
+        good = frozenset((wire.a, wire.b))
+        faults = FaultModel(dead_wires=frozenset({good}))
+
+        def poisoned():
+            yield good
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            faults.set_dead_wires(poisoned())
+        assert faults.dead_wires == frozenset({good})
+        assert faults.fault_epoch == 0
+
+        with pytest.raises(ValueError):
+            faults.set_dead_wires([good, frozenset()])
+        assert faults.dead_wires == frozenset({good})
+        assert faults.fault_epoch == 0
+
+    def test_mutation_invalidates_eval_cache(self, two_switch_net):
+        """The probe-evaluation cache keys on fault_epoch: flipping a wire
+        dead and alive again must change what the service answers."""
+        faults = FaultModel()
+        svc = QuiescentProbeService(two_switch_net, "h0", faults=faults)
+        # h0 @ s0:0; turn 4 -> s0 exit port 4 -> the s0:4--s1:2 cable -> s1.
+        alive_before = svc.probe_switch((4,))
+        wire = two_switch_net.wire_at("s0", 4)
+        faults.set_dead_wires({frozenset((wire.a, wire.b))})
+        dead = svc.probe_switch((4,))
+        faults.set_dead_wires(())
+        alive_after = svc.probe_switch((4,))
+        assert alive_before is True
+        assert dead is False
+        assert alive_after is True
+
+
 class TestMappingUnderFaults:
     def test_dead_link_hides_structure_but_stays_sound(self, ring_net):
         """A silently dead cable makes part of the network unreachable via
