@@ -85,23 +85,23 @@ def _micro_switch_probe_eval() -> tuple[float, dict]:
 
 
 def _micro_probe_pair() -> tuple[float, dict]:
-    from repro.simulator.quiescent import QuiescentProbeService
+    from repro.simulator.stack import build_service_stack
     from repro.topology.generators import build_subcluster
 
-    svc = QuiescentProbeService(build_subcluster("C"), "C-n00")
+    svc = build_service_stack(build_subcluster("C"), "C-n00")
     per_op = _time_op(lambda: svc.response((5, 1), host_first=False), 2000)
     stats = svc.eval_cache_stats
     return per_op, {"cache_hit_rate": round(stats.hit_rate, 4)}
 
 
-def _mapping_run(use_cache: bool) -> tuple[float, dict]:
+def _mapping_run(use_cache: bool, layers: tuple = ()) -> tuple[float, dict]:
     from repro.core.mapper import BerkeleyMapper
-    from repro.simulator.quiescent import QuiescentProbeService
+    from repro.simulator.stack import build_service_stack
     from repro.topology.generators import build_subcluster
 
     net = build_subcluster("C")
     start = time.perf_counter()
-    svc = QuiescentProbeService(net, "C-svc", use_cache=use_cache)
+    svc = build_service_stack(net, "C-svc", layers=layers, use_cache=use_cache)
     result = BerkeleyMapper(svc, search_depth=11, host_first=False).run()
     elapsed = time.perf_counter() - start
     assert result.network.n_switches == 13
@@ -113,12 +113,28 @@ def _mapping_run(use_cache: bool) -> tuple[float, dict]:
     return elapsed, extra
 
 
+def _stacked_layers() -> tuple:
+    """A representative observation stack: counting + trace bus.
+
+    Measures the per-probe overhead of the middleware hooks against the
+    layer-less arm; the bus subscriber is deliberately trivial so the
+    number isolates the stack machinery itself.
+    """
+    from repro.simulator.stack import CountingLayer, TraceBusLayer
+
+    published: list = []
+    return (CountingLayer(), TraceBusLayer((published.append,)))
+
+
 MICRO_SUITE: dict[str, Bench] = {
     "route_eval": _micro_route_eval,
     "switch_probe_eval": _micro_switch_probe_eval,
     "probe_pair": _micro_probe_pair,
     "full_mapping_subcluster_cached": lambda: _mapping_run(True),
     "full_mapping_subcluster_uncached": lambda: _mapping_run(False),
+    "full_mapping_subcluster_stacked": lambda: _mapping_run(
+        True, _stacked_layers()
+    ),
 }
 
 
@@ -190,6 +206,11 @@ def run_suite(
         if quick and name in SLOW_BENCHES:
             print(f"  {name}: skipped (--quick)")
             continue
+        # One untimed warm-up run per bench: the first call in a process
+        # pays one-time import and cache-construction costs that would
+        # otherwise dominate the median at low repeat counts (--quick
+        # runs only 2 samples).
+        bench()
         samples: list[float] = []
         extra: dict = {}
         for _ in range(repeats):

@@ -18,8 +18,8 @@ Run:  python examples/algorithm_comparison.py
 from repro import (
     BerkeleyMapper,
     MyricomMapper,
-    QuiescentProbeService,
     SelfIdMapper,
+    build_service_stack,
     build_subcluster,
     core_network,
     match_networks,
@@ -34,7 +34,7 @@ def compare(name: str, net, mapper_host: str) -> None:
     core = core_network(net)
     rows = []
 
-    svc = QuiescentProbeService(net, mapper_host)
+    svc = build_service_stack(net, mapper_host)
     berkeley = BerkeleyMapper(svc, search_depth=depth, host_first=False).run()
     rows.append(
         (
@@ -46,7 +46,7 @@ def compare(name: str, net, mapper_host: str) -> None:
         )
     )
 
-    svc = QuiescentProbeService(net, mapper_host)
+    svc = build_service_stack(net, mapper_host)
     myricom = MyricomMapper(svc, search_depth=depth).run()
     rows.append(
         (
@@ -58,7 +58,7 @@ def compare(name: str, net, mapper_host: str) -> None:
         )
     )
 
-    svc = SelfIdProbeService(net, mapper_host)
+    svc = build_service_stack(net, mapper_host, service_cls=SelfIdProbeService)
     selfid = SelfIdMapper(svc, search_depth=depth).run()
     rows.append(
         (

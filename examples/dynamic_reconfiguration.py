@@ -19,7 +19,7 @@ Run:  python examples/dynamic_reconfiguration.py
 
 from repro import (
     BerkeleyMapper,
-    QuiescentProbeService,
+    build_service_stack,
     all_pairs_updown_paths,
     build_subcluster,
     compile_route_tables,
@@ -33,7 +33,7 @@ from repro import (
 
 def remap(actual, mapper_host: str, event: str) -> None:
     depth = recommended_search_depth(actual, mapper_host)
-    svc = QuiescentProbeService(actual, mapper_host)
+    svc = build_service_stack(actual, mapper_host)
     result = BerkeleyMapper(svc, search_depth=depth, host_first=False).run()
     report = match_networks(result.network, core_network(actual))
     orientation = orient_updown(result.network)

@@ -20,7 +20,7 @@ Run:  python examples/map_and_route_now.py
 
 from repro import (
     BerkeleyMapper,
-    QuiescentProbeService,
+    build_service_stack,
     all_pairs_updown_paths,
     build_full_now,
     compile_route_tables,
@@ -41,7 +41,7 @@ def main() -> None:
 
     # --- 1+2: in-band mapping -----------------------------------------
     depth = recommended_search_depth(actual, mapper_host)
-    svc = QuiescentProbeService(actual, mapper_host)
+    svc = build_service_stack(actual, mapper_host)
     result = BerkeleyMapper(svc, search_depth=depth, host_first=False).run()
     the_map = result.network
     assert match_networks(the_map, core_network(actual))

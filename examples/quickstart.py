@@ -12,7 +12,7 @@ Run:  python examples/quickstart.py
 
 from repro import (
     BerkeleyMapper,
-    QuiescentProbeService,
+    build_service_stack,
     build_subcluster,
     core_network,
     match_networks,
@@ -31,7 +31,7 @@ def main() -> None:
     # The mapper runs on the dedicated utility machine, like the paper's
     # active mapper process, and reaches the network only through probes.
     mapper_host = "C-svc"
-    probes = QuiescentProbeService(actual, mapper_host)
+    probes = build_service_stack(actual, mapper_host)
 
     # The proven-sufficient exploration depth is Q + D + 1 (Section 3.1.4).
     depth = recommended_search_depth(actual, mapper_host)

@@ -9,12 +9,12 @@ routes from the map.
 Quickstart::
 
     from repro import (
-        BerkeleyMapper, QuiescentProbeService,
+        BerkeleyMapper, build_service_stack,
         build_subcluster, recommended_search_depth, match_networks,
     )
 
     net = build_subcluster("C")                      # the paper's testbed
-    svc = QuiescentProbeService(net, "C-svc")        # in-band probe access
+    svc = build_service_stack(net, "C-svc")          # in-band probe access
     depth = recommended_search_depth(net, "C-svc")   # the proven Q+D+1
     result = BerkeleyMapper(svc, search_depth=depth).run()
     assert match_networks(result.network, net)       # got the truth back
@@ -49,6 +49,7 @@ from repro.simulator import (
     CutThroughModel,
     PacketModel,
     QuiescentProbeService,
+    build_service_stack,
 )
 from repro.topology import Network, NetworkBuilder
 from repro.topology.analysis import (
@@ -87,6 +88,7 @@ __all__ = [
     "__version__",
     "all_pairs_updown_paths",
     "build_full_now",
+    "build_service_stack",
     "build_subcluster",
     "combine_subclusters",
     "compile_route_tables",

@@ -26,6 +26,7 @@ __all__ = [
     "NoMutableDefaults",
     "ServiceEvaluatesViaCache",
     "SeededChaosSchedules",
+    "NoAdHocServiceWrappers",
 ]
 
 #: Switch radix of the paper's Myrinet fabric; port indices live in [0, 8).
@@ -618,3 +619,58 @@ class SeededChaosSchedules(Rule):
                 f"`{name}(...)` without an explicit `{needed}=` keyword — "
                 "an unseeded chaos schedule is not replayable",
             )
+
+
+@register
+class NoAdHocServiceWrappers(Rule):
+    rule_id = "SAN011"
+    title = "probe-service behavior composes as stack layers, not wrappers"
+    rationale = (
+        "Every probe walks one accounting path: the quiescent engine "
+        "evaluates, applies the composed middleware layers, and records "
+        "exactly one ProbeRecord. A class outside the stack that "
+        "re-implements probe_host/probe_switch/probe_loopback forks that "
+        "path — its probes bypass the layers' counting, capping, chaos "
+        "triggers and trace bus, and the five wrapper classes this rule "
+        "replaced each drifted from the engine in exactly that way."
+    )
+    hint = (
+        "subclass ProbeLayer (before/gate/after/retry_after_miss hooks) and "
+        "compose it via build_service_stack(layers=...); new probe *kinds* "
+        "belong in QuiescentProbeService subclasses as new method names "
+        "routed through _transact()"
+    )
+
+    #: The canonical probe entry points owned by the stacked engine.
+    _CANONICAL = frozenset({"probe_host", "probe_switch", "probe_loopback"})
+
+    #: The only modules allowed to define the canonical entry points.
+    _STACK_MODULES = frozenset(
+        {"repro.simulator.stack", "repro.simulator.quiescent"}
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Diagnostic]:
+        if module.module in self._STACK_MODULES:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            # The ProbeService Protocol *declares* the entry points; only
+            # concrete implementations fork the accounting path.
+            if any(
+                (base := _dotted(b)) is not None
+                and base.split(".")[-1] == "Protocol"
+                for b in node.bases
+            ):
+                continue
+            for stmt in node.body:
+                if (
+                    isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and stmt.name in self._CANONICAL
+                ):
+                    yield self.diag(
+                        module,
+                        stmt,
+                        f"`{node.name}.{stmt.name}` re-implements a canonical "
+                        "probe entry point outside the service stack",
+                    )

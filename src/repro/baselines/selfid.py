@@ -28,8 +28,9 @@ from dataclasses import dataclass
 from repro.core.mapper import MappingError
 from repro.core.planner import PortPlan
 from repro.simulator.path_eval import PathStatus
-from repro.simulator.probes import ProbeKind, ProbeRecord, ProbeStats
+from repro.simulator.probes import ProbeKind, ProbeStats
 from repro.simulator.quiescent import QuiescentProbeService
+from repro.simulator.stack import ProbeContext
 from repro.simulator.turns import Turns, reverse_turns, switch_probe_turns, validate_turns
 from repro.topology.model import Network
 
@@ -39,12 +40,10 @@ __all__ = ["SelfIdMapper", "SelfIdProbeService", "SelfIdResult"]
 class SelfIdProbeService(QuiescentProbeService):
     """Probe service for hardware with self-identifying switches."""
 
-    def probe_switch_id(self, turns: Turns) -> str | None:
-        """Switch-probe whose returning loopback carries the switch's id."""
-        turns = validate_turns(turns)
-        loop = switch_probe_turns(turns)
+    def _eval_switch_id(self, ctx: ProbeContext) -> None:
+        loop = switch_probe_turns(ctx.turns)
         path = self._path(loop)
-        switch_id: str | None = None
+        ctx.info = path
         if (
             path.status is PathStatus.DELIVERED
             and self.collision.blocked_at(path.traversals) is None
@@ -52,16 +51,18 @@ class SelfIdProbeService(QuiescentProbeService):
         ):
             # The identified switch is the bounce point: the node reached
             # after the forward half of the loopback string.
-            bounce = path.nodes[len(turns) + 1]
-            switch_id = bounce
-        hit = switch_id is not None
-        cost = self._jittered(
-            self.timing.probe_response_us(path.hops, 0)
-            if hit
-            else self.timing.probe_timeout_us()
+            bounce = path.nodes[len(ctx.turns) + 1]
+            ctx.hit = True
+            ctx.response = bounce
+            ctx.payload = bounce
+
+    def probe_switch_id(self, turns: Turns) -> str | None:
+        """Switch-probe whose returning loopback carries the switch's id."""
+        turns = validate_turns(turns)
+        ctx = self._transact(
+            ProbeKind.SWITCH, turns, self._eval_switch_id, round_trip=False
         )
-        self._stats.record(ProbeRecord(ProbeKind.SWITCH, turns, hit, cost, switch_id))
-        return switch_id
+        return ctx.payload if ctx.hit else None
 
 
 @dataclass(slots=True)

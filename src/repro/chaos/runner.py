@@ -5,8 +5,8 @@ seed. The runner drives the real
 :class:`~repro.core.remapper.RemapperDaemon` — map, offset-invariant diff,
 route recompilation, incremental distribution — through the scenario's
 scheduled cycles plus fault-free settle cycles, applying events at cycle
-boundaries and (via :class:`ChaosProbeService`) after exact probe counts
-mid-map. Every disturbance flows through the epoch counters, so the PR-2
+boundaries and (via :class:`ChaosLayer` on the probe-service stack) after
+exact probe counts mid-map. Every disturbance flows through the epoch counters, so the PR-2
 evaluation cache is exercised, not bypassed.
 
 Determinism is a first-class oracle: with ``check_determinism`` on, every
@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping
 
@@ -42,9 +41,7 @@ from repro.chaos.scenario import (
 from repro.core.mapper import MappingError
 from repro.core.remapper import RemapperDaemon
 from repro.simulator.faults import FaultModel
-from repro.simulator.probes import ProbeStats
-from repro.simulator.quiescent import QuiescentProbeService
-from repro.simulator.turns import Turns
+from repro.simulator.stack import CountingLayer, StatsLayer, build_service_stack
 from repro.topology.analysis import recommended_search_depth
 from repro.topology.model import Network, TopologyError
 from repro.topology.serialize import network_to_dict
@@ -53,7 +50,7 @@ __all__ = [
     "CampaignConfig",
     "CampaignReport",
     "CellResult",
-    "ChaosProbeService",
+    "ChaosLayer",
     "build_topology",
     "campaign_config_from_dict",
     "campaign_config_to_dict",
@@ -122,61 +119,32 @@ def build_topology(spec: Mapping[str, Any]) -> tuple[Network, str]:
 # ---------------------------------------------------------------------------
 # the mid-cycle event hook
 # ---------------------------------------------------------------------------
-class ChaosProbeService:
-    """Probe-service wrapper that fires scheduled events after N probes.
+class ChaosLayer(CountingLayer):
+    """Middleware layer firing scheduled events after exact probe counts.
 
     "Mutate topology mid-map" needs a deterministic notion of *when*; the
-    probe counter is the only clock the mapper and the scenario share. The
-    wrapper delegates everything to the inner service, bumping its counter
-    on each probe and applying every event whose ``after_probes`` threshold
-    has been reached *before* the probe is evaluated.
+    probe counter is the only clock the mapper and the scenario share.
+    Every event whose ``after_probes`` threshold has been reached is
+    applied *before* the probe is evaluated (the
+    :class:`~repro.simulator.stack.CountingLayer` contract); equal
+    thresholds fire in ``(after_probes, action, args)`` order so corpus
+    digests are stable.
     """
 
     def __init__(
         self,
-        inner: QuiescentProbeService,
         applier: ScenarioApplier,
         events: Iterable[ChaosEvent] = (),
     ) -> None:
-        self._inner = inner
+        ordered = sorted(events, key=lambda e: (e.after_probes, e.action, e.args))
+        super().__init__((e.after_probes, e) for e in ordered)
         self._applier = applier
-        self._pending = deque(
-            sorted(events, key=lambda e: (e.after_probes, e.action, e.args))
-        )
-        self._sent = 0
 
-    @property
-    def mapper_host(self) -> str:
-        return self._inner.mapper_host
+    def fire(self, payload) -> None:
+        self._applier.apply(payload)
 
-    @property
-    def stats(self) -> ProbeStats:
-        return self._inner.stats
-
-    @property
-    def faults(self) -> FaultModel:
-        return self._inner.faults
-
-    @property
-    def eval_cache_stats(self):
-        return self._inner.eval_cache_stats
-
-    def _fire_due(self) -> None:
-        while self._pending and self._pending[0].after_probes <= self._sent:
-            self._applier.apply(self._pending.popleft())
-
-    def probe_host(self, turns: Turns) -> str | None:
-        self._fire_due()
-        self._sent += 1
-        return self._inner.probe_host(turns)
-
-    def probe_switch(self, turns: Turns) -> bool:
-        self._fire_due()
-        self._sent += 1
-        return self._inner.probe_switch(turns)
-
-    def warm_prefix(self, turns: Turns) -> None:
-        self._inner.warm_prefix(turns)
+    def describe(self) -> str:
+        return f"ChaosLayer(pending={self.pending})"
 
 
 # ---------------------------------------------------------------------------
@@ -271,9 +239,18 @@ def _execute_cell(
     applier = ScenarioApplier(net, faults)
     midmap_events: list[ChaosEvent] = []
 
-    def service_factory(n: Network, h: str) -> ChaosProbeService:
-        inner = QuiescentProbeService(n, h, faults=faults)
-        return ChaosProbeService(inner, applier, midmap_events)
+    def service_factory(n: Network, h: str):
+        # keep_trace=False: campaign cycles never read per-probe records,
+        # so large grids stop holding every ProbeRecord in memory.
+        return build_service_stack(
+            n,
+            h,
+            layers=(
+                ChaosLayer(applier, midmap_events),
+                StatsLayer(keep_trace=False),
+            ),
+            faults=faults,
+        )
 
     daemon = RemapperDaemon(
         net,

@@ -74,7 +74,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_map(args: argparse.Namespace) -> int:
-    from repro.simulator.quiescent import QuiescentProbeService
+    from repro.simulator.stack import build_service_stack, describe_stack
     from repro.topology.analysis import core_network, recommended_search_depth
     from repro.topology.isomorphism import match_networks
     from repro.topology.render import to_ascii
@@ -86,22 +86,24 @@ def _cmd_map(args: argparse.Namespace) -> int:
     if args.algorithm == "berkeley":
         from repro.core.mapper import BerkeleyMapper
 
-        svc = QuiescentProbeService(net, mapper_host)
+        svc = build_service_stack(net, mapper_host)
         result = BerkeleyMapper(svc, search_depth=depth, host_first=False).run()
         produced, stats = result.network, result.stats
     elif args.algorithm == "myricom":
         from repro.baselines.myricom import MyricomMapper
 
-        svc = QuiescentProbeService(net, mapper_host)
+        svc = build_service_stack(net, mapper_host)
         result = MyricomMapper(svc, search_depth=depth).run()
         produced, stats = result.network, result.stats
     else:
         from repro.baselines.selfid import SelfIdMapper, SelfIdProbeService
 
-        svc = SelfIdProbeService(net, mapper_host)
+        svc = build_service_stack(net, mapper_host, service_cls=SelfIdProbeService)
         result = SelfIdMapper(svc, search_depth=depth).run()
         produced, stats = result.network, result.stats
 
+    if args.stack:
+        print(describe_stack(svc))
     print(f"mapped with {args.algorithm}: {produced.n_hosts} hosts, "
           f"{produced.n_switches} switches, {produced.n_wires} wires")
     print(f"probes: {stats.total_probes} ({stats.total_hits} answered), "
@@ -312,6 +314,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--render", action="store_true")
     p.add_argument("--stats", action="store_true",
                    help="print probe-evaluation cache counters")
+    p.add_argument("--stack", action="store_true",
+                   help="print the composed probe-service layer chain")
     p.set_defaults(func=_cmd_map)
 
     p = sub.add_parser("routes", help="compute deadlock-free routes from a map")

@@ -30,10 +30,15 @@ from repro.core.mapper import BerkeleyMapper, MapResult
 from repro.simulator.collision import CircuitModel, CollisionModel
 from repro.simulator.lockstep import LockstepScheduler
 from repro.simulator.occupancy import ChannelOccupancy
-from repro.simulator.path_eval import IncrementalPathEvaluator
-from repro.simulator.probes import ProbeKind, ProbeRecord, ProbeStats
+from repro.simulator.probes import ProbeKind
+from repro.simulator.stack import (
+    InterferenceLayer,
+    LockstepLayer,
+    ProbeContext,
+    ProbeLayer,
+    build_service_stack,
+)
 from repro.simulator.timing import MYRINET_TIMING, TimingModel
-from repro.simulator.turns import Turns, switch_probe_turns, validate_turns
 from repro.topology.model import Network
 
 __all__ = ["ConcurrentOutcome", "MapperOutcome", "run_concurrent_mappers"]
@@ -77,129 +82,41 @@ class _SharedFabric:
         self.mappers_respond = True
 
 
-class _ConcurrentProbeService:
-    """Probe service whose time passes on the lockstep scheduler."""
+class _FabricYieldLayer(ProbeLayer):
+    """The election/yield rule on the shared fabric (host-probes only).
 
-    def __init__(
-        self,
-        net: Network,
-        mapper: str,
-        scheduler: LockstepScheduler,
-        fabric: _SharedFabric,
-        *,
-        collision: CollisionModel,
-        timing: TimingModel,
-    ) -> None:
-        self._net = net
-        self._mapper = mapper
-        self._sched = scheduler
+    A delivered host-probe carries the sender's interface address: under
+    the election rule a lower-address active mapper at the target yields.
+    And under the election protocol an actively-mapping target does not
+    reply; otherwise the firmware echo is always on.
+    """
+
+    def __init__(self, fabric: _SharedFabric, host: str) -> None:
         self._fabric = fabric
-        self._collision = collision
-        self._timing = timing
-        self._evaluator = IncrementalPathEvaluator(net)
-        self._stats = ProbeStats()
-        self._turn_limit = max(
-            (net.radix(s) - 1 for s in net.switches), default=7
-        )
-        self.lost_to_contention = 0
+        self._host = host
 
-    # -- ProbeService ----------------------------------------------------
-    @property
-    def mapper_host(self) -> str:
-        return self._mapper
+    def gate(self, ctx: ProbeContext) -> None:
+        if ctx.kind is not ProbeKind.HOST:
+            return
+        fabric = self._fabric
+        target = ctx.responder
+        assert target is not None
+        if (
+            fabric.yield_rule
+            and target != self._host
+            and fabric.active.get(target, False)
+            and self._host > target
+        ):
+            fabric.active[target] = False
+        if not (
+            target == self._host
+            or fabric.mappers_respond
+            or not fabric.active.get(target, False)
+        ):
+            ctx.hit = False
 
-    @property
-    def stats(self) -> ProbeStats:
-        return self._stats
-
-    def probe_host(self, turns: Turns) -> str | None:
-        turns = validate_turns(turns, limit=self._turn_limit)
-        info = self._evaluator.probe_info(self._mapper, turns, self._collision)
-        hit = False
-        responder: str | None = None
-        if info.ok and info.blocked is None:
-            placement = self._fabric.occupancy.try_place(
-                info, self._sched.now
-            )
-            if placement.ok:
-                target = info.delivered_to
-                assert target is not None
-                # A delivered host-probe carries the sender's interface
-                # address: under the election rule a lower-address active
-                # mapper at the target yields.
-                if (
-                    self._fabric.yield_rule
-                    and target != self._mapper
-                    and self._fabric.active.get(target, False)
-                    and self._mapper > target
-                ):
-                    self._fabric.active[target] = False
-                # Under the election protocol an actively-mapping target
-                # does not reply; otherwise the echo is always on.
-                if (
-                    target == self._mapper
-                    or self._fabric.mappers_respond
-                    or not self._fabric.active.get(target, False)
-                ):
-                    hit = True
-                    responder = target
-            else:
-                self.lost_to_contention += 1
-        cost = (
-            self._timing.probe_response_us(info.hops, info.hops)
-            if hit
-            else self._timing.probe_timeout_us()
-        )
-        self._stats.record(ProbeRecord(ProbeKind.HOST, turns, hit, cost, responder))
-        self._sched.wait(cost)
-        return responder
-
-    def probe_loopback(self, turns: Turns) -> bool:
-        """Raw worm (zeros allowed) — lets the Myricom mapper run
-        concurrently too ("both algorithms have two operational modes")."""
-        seq = validate_turns(turns, allow_zero=True, limit=self._turn_limit)
-        info = self._evaluator.probe_info(self._mapper, seq, self._collision)
-        hit = False
-        if info.ok and info.delivered_to == self._mapper and info.blocked is None:
-            placement = self._fabric.occupancy.try_place(info, self._sched.now)
-            if placement.ok:
-                hit = True
-            else:
-                self.lost_to_contention += 1
-        cost = (
-            self._timing.probe_response_us(info.hops, 0)
-            if hit
-            else self._timing.probe_timeout_us()
-        )
-        self._stats.record(
-            ProbeRecord(ProbeKind.SWITCH, seq, hit, cost, "loopback" if hit else None)
-        )
-        self._sched.wait(cost)
-        return hit
-
-    def probe_switch(self, turns: Turns) -> bool:
-        turns = validate_turns(turns, limit=self._turn_limit)
-        loop = switch_probe_turns(turns, limit=self._turn_limit)
-        info = self._evaluator.probe_info(self._mapper, loop, self._collision)
-        hit = False
-        if info.ok and info.blocked is None:
-            placement = self._fabric.occupancy.try_place(
-                info, self._sched.now
-            )
-            if placement.ok:
-                hit = True
-            else:
-                self.lost_to_contention += 1
-        cost = (
-            self._timing.probe_response_us(info.hops, 0)
-            if hit
-            else self._timing.probe_timeout_us()
-        )
-        self._stats.record(
-            ProbeRecord(ProbeKind.SWITCH, turns, hit, cost, "switch" if hit else None)
-        )
-        self._sched.wait(cost)
-        return hit
+    def describe(self) -> str:
+        return f"FabricYieldLayer(yield_rule={self._fabric.yield_rule})"
 
 
 def run_concurrent_mappers(
@@ -239,11 +156,17 @@ def run_concurrent_mappers(
     outcomes: dict[str, MapperOutcome] = {}
 
     def make_actor(host: str):
-        svc = _ConcurrentProbeService(
+        contention = InterferenceLayer(
+            fabric.occupancy, clock=lambda: scheduler.now
+        )
+        svc = build_service_stack(
             net,
             host,
-            scheduler,
-            fabric,
+            layers=(
+                contention,
+                _FabricYieldLayer(fabric, host),
+                LockstepLayer(scheduler),
+            ),
             collision=collision,
             timing=timing,
         )
@@ -269,7 +192,7 @@ def run_concurrent_mappers(
                 host=host,
                 result=result,
                 finished_at_us=sched.now,
-                probes_lost_to_contention=svc.lost_to_contention,
+                probes_lost_to_contention=contention.lost,
                 yielded=yielded,
             )
 

@@ -28,24 +28,29 @@ paper reports for C+A+B election mode (981/1011/1208 master vs
 
 Approximation (recorded in DESIGN.md): rival mappers replay quiescent probe
 schedules (capped — rivals yield early) to decide *when rivals silence each
-other*; the winner's mapper runs live against a time-aware probe service,
-so its probe content genuinely adapts to which hosts were silent.
+other*; the winner's mapper runs live with a :class:`_RivalSilenceLayer`
+gating its host-probes, so its probe content genuinely adapts to which
+hosts were silent.
 """
 
 from __future__ import annotations
 
-import bisect
 import random
 import statistics
 from dataclasses import dataclass
 
 from repro.core.mapper import BerkeleyMapper, MapResult
 from repro.simulator.collision import CircuitModel, CollisionModel
-from repro.simulator.path_eval import IncrementalPathEvaluator
-from repro.simulator.probes import ProbeKind, ProbeRecord, ProbeStats
-from repro.simulator.quiescent import QuiescentProbeService
+from repro.simulator.probes import ProbeKind, ProbeRecord
+from repro.simulator.stack import (
+    CapLayer,
+    ProbeBudgetExceeded,
+    ProbeContext,
+    ProbeLayer,
+    TraceBusLayer,
+    build_service_stack,
+)
 from repro.simulator.timing import MYRINET_TIMING, TimingModel
-from repro.simulator.turns import Turns, switch_probe_turns, validate_turns
 from repro.topology.model import Network
 
 __all__ = ["ElectionOutcome", "election_run", "election_times"]
@@ -79,79 +84,49 @@ def _rival_schedule(
 
     The rival's probe sequence is its quiescent schedule; only delivered
     host-probes matter to the election (they carry the address comparison).
+    The schedule is collected straight off the trace bus — no trace
+    retention — and the cap trips the run once the rival's budget is spent.
     """
-
-    class _Stop(Exception):
-        pass
-
-    svc = QuiescentProbeService(
-        net, host, collision=collision, timing=timing, keep_trace=True
-    )
-
-    class _Capped:
-        @property
-        def mapper_host(self) -> str:
-            return svc.mapper_host
-
-        @property
-        def stats(self) -> ProbeStats:
-            return svc.stats
-
-        def probe_host(self, turns):
-            self._check()
-            return svc.probe_host(turns)
-
-        def probe_switch(self, turns):
-            self._check()
-            return svc.probe_switch(turns)
-
-        @staticmethod
-        def _check() -> None:
-            if svc.stats.total_probes >= cap:
-                raise _Stop()
-
-    try:
-        BerkeleyMapper(_Capped(), search_depth=search_depth, host_first=False).run()
-    except _Stop:
-        pass
     events: list[tuple[float, str]] = []
     clock = 0.0
-    assert svc.stats.trace is not None
-    for rec in svc.stats.trace:
+
+    def on_record(rec: ProbeRecord) -> None:
+        nonlocal clock
         clock += rec.cost_us
         if rec.kind is ProbeKind.HOST and rec.hit and rec.response is not None:
             events.append((clock, rec.response))
+
+    svc = build_service_stack(
+        net,
+        host,
+        layers=(CapLayer(cap), TraceBusLayer((on_record,))),
+        collision=collision,
+        timing=timing,
+    )
+    try:
+        BerkeleyMapper(svc, search_depth=search_depth, host_first=False).run()
+    except ProbeBudgetExceeded:
+        pass
     return events
 
 
-class _ElectionProbeService:
-    """Time-aware probe service for the winner's live mapping run.
+class _RivalSilenceLayer(ProbeLayer):
+    """Election state for the winner's live run.
 
-    Maintains the election state: rival activity windows, the merged rival
-    probe-delivery timeline, and the rule that active mappers do not answer
-    host-probes. Anchors the winner's clock to ``stats.elapsed_us``.
+    Maintains rival activity windows, the merged rival probe-delivery
+    timeline, and the rule that active mappers do not answer host-probes.
+    Anchors the winner's clock to the service's ``stats.elapsed_us``.
     """
 
     def __init__(
         self,
-        net: Network,
-        winner: str,
         *,
-        collision: CollisionModel,
+        winner: str,
         timing: TimingModel,
         start_us: dict[str, float],
         rival_events: list[tuple[float, str, str]],  # (abs time, sender, target)
         rival_end_us: dict[str, float],
-        jitter: float,
-        rng: random.Random,
     ) -> None:
-        self._inner = QuiescentProbeService(
-            net, winner, collision=collision, timing=timing
-        )
-        # Own trie: probe addresses here arrive in the same extension order
-        # as the quiescent case, and elections have no fault model to track.
-        self._evaluator = IncrementalPathEvaluator(net)
-        self._net = net
         self._winner = winner
         self._timing = timing
         self._start = start_us
@@ -159,22 +134,16 @@ class _ElectionProbeService:
         self._cursor = 0
         self._trace_end = rival_end_us
         self._yielded: dict[str, float] = {}
-        self._jitter = jitter
-        self._rng = rng
         self.anchor_misses = 0
+        self._svc = None
+        self._t_send = 0.0
 
-    # -- ProbeService ----------------------------------------------------
-    @property
-    def mapper_host(self) -> str:
-        return self._winner
-
-    @property
-    def stats(self) -> ProbeStats:
-        return self._inner.stats
+    def on_attach(self, service) -> None:
+        self._svc = service
 
     @property
     def now_us(self) -> float:
-        return self._start[self._winner] + self._inner.stats.elapsed_us
+        return self._start[self._winner] + self._svc.stats.elapsed_us
 
     def yield_times(self) -> dict[str, float]:
         return dict(self._yielded)
@@ -205,53 +174,26 @@ class _ElectionProbeService:
             if sender > target and self._is_active(target, t):
                 self._yielded[target] = t
 
-    def probe_host(self, turns: Turns) -> str | None:
-        turns = validate_turns(turns)
-        t_send = self.now_us
-        self._advance_rivals(t_send)
-        info = self._evaluator.probe_info(self._winner, turns, self._inner.collision)
-        hit = False
-        responder = None
-        if info.ok and info.blocked is None:
-            target = info.delivered_to
-            assert target is not None
-            arrival = t_send + self._timing.wire_time_us(info.hops)
-            if target == self._winner or not self._is_active(target, arrival):
-                hit = True
-                responder = target
-            else:
-                # Busy rival: no answer — but it heard our address.
-                self.anchor_misses += 1
-                if self._winner > target:
-                    self._yielded.setdefault(target, arrival)
-        cost = self._jittered(
-            self._timing.probe_response_us(info.hops, info.hops)
-            if hit
-            else self._timing.probe_timeout_us()
-        )
-        self.stats.record(ProbeRecord(ProbeKind.HOST, turns, hit, cost, responder))
-        return responder
+    def before(self, ctx: ProbeContext) -> None:
+        self._t_send = self.now_us
+        self._advance_rivals(self._t_send)
 
-    def probe_switch(self, turns: Turns) -> bool:
-        turns = validate_turns(turns)
-        self._advance_rivals(self.now_us)
-        loop = switch_probe_turns(turns)
-        info = self._evaluator.probe_info(self._winner, loop, self._inner.collision)
-        hit = info.ok and info.blocked is None
-        cost = self._jittered(
-            self._timing.probe_response_us(info.hops, 0)
-            if hit
-            else self._timing.probe_timeout_us()
-        )
-        self.stats.record(
-            ProbeRecord(ProbeKind.SWITCH, turns, hit, cost, "switch" if hit else None)
-        )
-        return hit
+    def gate(self, ctx: ProbeContext) -> None:
+        if ctx.kind is not ProbeKind.HOST:
+            return
+        target = ctx.responder
+        assert target is not None
+        arrival = self._t_send + self._timing.wire_time_us(ctx.info.hops)
+        if target == self._winner or not self._is_active(target, arrival):
+            return
+        # Busy rival: no answer — but it heard our address.
+        self.anchor_misses += 1
+        if self._winner > target:
+            self._yielded.setdefault(target, arrival)
+        ctx.hit = False
 
-    def _jittered(self, cost: float) -> float:
-        if not self._jitter:
-            return cost
-        return cost * self._rng.uniform(1.0 - self._jitter, 1.0 + self._jitter)
+    def describe(self) -> str:
+        return f"RivalSilenceLayer(rival_events={len(self._events)})"
 
 
 # Cache of rival schedules per (network identity, depth): they are
@@ -310,25 +252,30 @@ def election_run(
             rival_events.append((start_us[h] + t_rel, h, target))
         rival_end[h] = sched[-1][0] if sched else 0.0
 
-    svc = _ElectionProbeService(
-        net,
-        winner,
-        collision=collision,
+    silence = _RivalSilenceLayer(
+        winner=winner,
         timing=timing,
         start_us=start_us,
         rival_events=rival_events,
         rival_end_us=rival_end,
+    )
+    svc = build_service_stack(
+        net,
+        winner,
+        layers=(silence,),
+        collision=collision,
+        timing=timing,
         jitter=jitter,
         rng=rng,
     )
     result = BerkeleyMapper(svc, search_depth=search_depth, host_first=False).run()
-    elapsed_us = svc.now_us  # includes the winner's own start delay
+    elapsed_us = silence.now_us  # includes the winner's own start delay
     return ElectionOutcome(
         winner=winner,
         elapsed_ms=elapsed_us / 1000.0,
         map_result=result,
-        yield_times_ms={h: t / 1000.0 for h, t in svc.yield_times().items()},
-        anchor_misses=svc.anchor_misses,
+        yield_times_ms={h: t / 1000.0 for h, t in silence.yield_times().items()},
+        anchor_misses=silence.anchor_misses,
     )
 
 

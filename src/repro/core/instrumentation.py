@@ -23,7 +23,14 @@ from dataclasses import dataclass, field
 from repro.simulator.path_eval import EvalCacheStats
 from repro.simulator.probes import ProbeKind, ProbeStats
 
-__all__ = ["TraceAnalysis", "analyze_trace", "cache_summary", "chaos_summary"]
+__all__ = [
+    "TraceAnalysis",
+    "TraceRecorder",
+    "analyze_records",
+    "analyze_trace",
+    "cache_summary",
+    "chaos_summary",
+]
 
 
 def cache_summary(stats: EvalCacheStats | None) -> str:
@@ -98,6 +105,23 @@ class TraceAnalysis:
         return "\n".join(lines)
 
 
+class TraceRecorder:
+    """Trace-bus subscriber that accumulates every published probe record.
+
+    Attach to a :class:`~repro.simulator.stack.TraceBusLayer` to observe a
+    run without asking the service to retain its own trace
+    (``keep_trace=True``); the recorder then feeds :func:`analyze_records`.
+    """
+
+    __slots__ = ("records",)
+
+    def __init__(self) -> None:
+        self.records: list = []
+
+    def __call__(self, record) -> None:
+        self.records.append(record)
+
+
 def analyze_trace(stats: ProbeStats) -> TraceAnalysis:
     """Analyze a probe trace; requires the service ran with a trace kept."""
     if stats.trace is None:
@@ -105,6 +129,11 @@ def analyze_trace(stats: ProbeStats) -> TraceAnalysis:
             "no trace recorded: construct the probe service with "
             "keep_trace=True"
         )
+    return analyze_records(stats.trace)
+
+
+def analyze_records(records) -> TraceAnalysis:
+    """Aggregate a sequence of probe records (a kept trace or a bus feed)."""
     by_length: dict[int, list[int]] = {}
     answered = 0.0
     timeout = 0.0
@@ -113,7 +142,7 @@ def analyze_trace(stats: ProbeStats) -> TraceAnalysis:
     hits = 0
     running: list[float] = []
     acc = 0.0
-    for rec in stats.trace:
+    for rec in records:
         bucket = by_length.setdefault(len(rec.turns), [0, 0])
         bucket[0] += 1
         if rec.hit:
@@ -129,7 +158,7 @@ def analyze_trace(stats: ProbeStats) -> TraceAnalysis:
         acc += rec.cost_us
         running.append(acc)
     return TraceAnalysis(
-        total=len(stats.trace),
+        total=len(records),
         hits=hits,
         by_length={k: (v[0], v[1]) for k, v in by_length.items()},
         answered_us=answered,

@@ -25,7 +25,7 @@ from repro.core.mapper import BerkeleyMapper, MapResult
 from repro.core.planner import ProbePlanner
 from repro.simulator.daemons import DaemonPlacement
 from repro.simulator.collision import CircuitModel, CollisionModel
-from repro.simulator.quiescent import QuiescentProbeService
+from repro.simulator.stack import build_service_stack
 from repro.simulator.timing import MYRINET_TIMING, TimingModel
 from repro.topology.model import Network
 
@@ -64,7 +64,7 @@ def timed_run(
     responders = None
     if placement is not None:
         responders = frozenset(placement.including(mapper_host).responders)
-    svc = QuiescentProbeService(
+    svc = build_service_stack(
         net,
         mapper_host,
         collision=collision or CircuitModel(),

@@ -24,7 +24,7 @@ from repro.routing.incremental import distribute_incremental
 from repro.routing.paths import all_pairs_updown_paths
 from repro.routing.updown import orient_updown
 from repro.simulator.collision import CircuitModel, CollisionModel
-from repro.simulator.quiescent import QuiescentProbeService
+from repro.simulator.stack import build_service_stack
 from repro.simulator.timing import MYRINET_TIMING, TimingModel
 from repro.topology.analysis import recommended_search_depth
 from repro.topology.diff import MapDiff, diff_networks
@@ -100,7 +100,7 @@ class RemapperDaemon:
     def _build_service(self) -> object:
         if self._service_factory is not None:
             return self._service_factory(self._net, self._mapper_host)
-        return QuiescentProbeService(
+        return build_service_stack(
             self._net,
             self._mapper_host,
             collision=self._collision,

@@ -27,7 +27,7 @@ from repro.experiments.common import system
 from repro.experiments.tables import print_table
 from repro.extensions.randomized import CouponMapper
 from repro.simulator.collision import CircuitModel, CutThroughModel
-from repro.simulator.quiescent import QuiescentProbeService
+from repro.simulator.stack import build_service_stack
 from repro.topology.isomorphism import match_networks
 
 __all__ = ["AblationRow", "run", "main"]
@@ -66,7 +66,7 @@ def run(name: str = "C+A+B") -> list[AblationRow]:
 
     # 1. planner heuristics on/off
     for heuristic, label in ((True, "planner: heuristic"), (False, "planner: naive")):
-        svc = QuiescentProbeService(fixture.net, fixture.mapper_host)
+        svc = build_service_stack(fixture.net, fixture.mapper_host)
         record(
             label,
             BerkeleyMapper(
@@ -83,7 +83,7 @@ def run(name: str = "C+A+B") -> list[AblationRow]:
         (CutThroughModel(slack_hops=1), "collision: cut-through slack=1"),
         (CutThroughModel(slack_hops=3), "collision: cut-through slack=3"),
     ):
-        svc = QuiescentProbeService(
+        svc = build_service_stack(
             fixture.net, fixture.mapper_host, collision=collision
         )
         record(
@@ -95,7 +95,7 @@ def run(name: str = "C+A+B") -> list[AblationRow]:
 
     # 3. probe-pair order
     for host_first, label in ((True, "pair order: host first"), (False, "pair order: switch first")):
-        svc = QuiescentProbeService(fixture.net, fixture.mapper_host)
+        svc = build_service_stack(fixture.net, fixture.mapper_host)
         record(
             label,
             BerkeleyMapper(
@@ -108,7 +108,9 @@ def run(name: str = "C+A+B") -> list[AblationRow]:
     from repro.extensions.randomized import EarlyHostProbeService
 
     for n in (0, 30, 100):
-        svc = EarlyHostProbeService(fixture.net, fixture.mapper_host)
+        svc = build_service_stack(
+            fixture.net, fixture.mapper_host, service_cls=EarlyHostProbeService
+        )
         mapper = CouponMapper(
             svc,
             search_depth=fixture.search_depth,
@@ -119,7 +121,9 @@ def run(name: str = "C+A+B") -> list[AblationRow]:
         record(f"coupon seeding: {n} probes", mapper.run())
 
     # 5. self-identifying switches (lower bound)
-    svc = SelfIdProbeService(fixture.net, fixture.mapper_host)
+    svc = build_service_stack(
+        fixture.net, fixture.mapper_host, service_cls=SelfIdProbeService
+    )
     record(
         "self-identifying switches",
         SelfIdMapper(svc, search_depth=fixture.search_depth).run(),

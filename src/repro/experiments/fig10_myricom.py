@@ -21,7 +21,7 @@ from repro.baselines.myricom import MyricomMapper, ProbeBreakdown
 from repro.core.mapper import BerkeleyMapper
 from repro.experiments.common import PAPER, SYSTEMS, system
 from repro.experiments.tables import print_table
-from repro.simulator.quiescent import QuiescentProbeService
+from repro.simulator.stack import build_service_stack
 from repro.topology.isomorphism import match_networks
 
 __all__ = ["MyricomRow", "run", "main"]
@@ -52,11 +52,11 @@ def run(systems=SYSTEMS) -> list[MyricomRow]:
     rows = []
     for name in systems:
         fixture = system(name)
-        svc_b = QuiescentProbeService(fixture.net, fixture.mapper_host)
+        svc_b = build_service_stack(fixture.net, fixture.mapper_host)
         berkeley = BerkeleyMapper(
             svc_b, search_depth=fixture.search_depth, host_first=False
         ).run()
-        svc_m = QuiescentProbeService(fixture.net, fixture.mapper_host)
+        svc_m = build_service_stack(fixture.net, fixture.mapper_host)
         myricom = MyricomMapper(svc_m, search_depth=fixture.search_depth).run()
         rows.append(
             MyricomRow(

@@ -15,7 +15,7 @@ from repro.core.instrumentation import cache_summary
 from repro.core.mapper import BerkeleyMapper, MapResult
 from repro.experiments.common import system
 from repro.simulator.path_eval import EvalCacheStats
-from repro.simulator.quiescent import QuiescentProbeService
+from repro.simulator.stack import build_service_stack
 from repro.topology.isomorphism import IsomorphismReport, match_networks
 from repro.topology.render import to_ascii, to_dot
 
@@ -34,7 +34,7 @@ class MapExperiment:
 
 def run(name: str = "C") -> MapExperiment:
     fixture = system(name)
-    svc = QuiescentProbeService(fixture.net, fixture.mapper_host)
+    svc = build_service_stack(fixture.net, fixture.mapper_host)
     result = BerkeleyMapper(
         svc, search_depth=fixture.search_depth, host_first=False
     ).run()

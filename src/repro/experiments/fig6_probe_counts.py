@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from repro.core.mapper import BerkeleyMapper
 from repro.experiments.common import PAPER, SYSTEMS, system
 from repro.experiments.tables import print_table
-from repro.simulator.quiescent import QuiescentProbeService
+from repro.simulator.stack import TraceBusLayer, build_service_stack
 from repro.topology.isomorphism import match_networks
 
 __all__ = ["ProbeCountRow", "run", "main"]
@@ -44,7 +44,7 @@ def run(*, host_first: bool = False) -> list[ProbeCountRow]:
     rows = []
     for name in SYSTEMS:
         fixture = system(name)
-        svc = QuiescentProbeService(fixture.net, fixture.mapper_host)
+        svc = build_service_stack(fixture.net, fixture.mapper_host)
         result = BerkeleyMapper(
             svc, search_depth=fixture.search_depth, host_first=host_first
         ).run()
@@ -71,14 +71,19 @@ def probe_length_histogram(name: str = "C") -> str:
     Explains the Figure 6 ratios: deep probes are replicate-exploration
     tails and hit less, and every miss costs the full timeout.
     """
-    from repro.core.instrumentation import analyze_trace
+    from repro.core.instrumentation import TraceRecorder, analyze_records
 
     fixture = system(name)
-    svc = QuiescentProbeService(fixture.net, fixture.mapper_host, keep_trace=True)
+    recorder = TraceRecorder()
+    svc = build_service_stack(
+        fixture.net,
+        fixture.mapper_host,
+        layers=(TraceBusLayer((recorder,)),),
+    )
     BerkeleyMapper(
         svc, search_depth=fixture.search_depth, host_first=False
     ).run()
-    analysis = analyze_trace(svc.stats)
+    analysis = analyze_records(recorder.records)
     return (
         analysis.histogram()
         + f"\ntimeout share of mapping time: {analysis.timeout_share:.0%}"

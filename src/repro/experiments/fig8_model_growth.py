@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from repro.core.mapper import BerkeleyMapper, GrowthSample, MapResult
 from repro.experiments.common import PAPER, system
 from repro.experiments.tables import print_table
-from repro.simulator.quiescent import QuiescentProbeService
+from repro.simulator.stack import build_service_stack
 
 __all__ = ["GrowthExperiment", "run", "main", "render_series"]
 
@@ -36,7 +36,7 @@ class GrowthExperiment:
 
 def run(name: str = "C+A+B") -> GrowthExperiment:
     fixture = system(name)
-    svc = QuiescentProbeService(fixture.net, fixture.mapper_host)
+    svc = build_service_stack(fixture.net, fixture.mapper_host)
     result = BerkeleyMapper(
         svc,
         search_depth=fixture.search_depth,

@@ -27,7 +27,7 @@ from repro.routing import (
     routes_deadlock_free,
 )
 from repro.simulator.path_eval import PathStatus, evaluate_route
-from repro.simulator.quiescent import QuiescentProbeService
+from repro.simulator.stack import build_service_stack
 
 __all__ = ["RoutingRow", "run", "main"]
 
@@ -50,7 +50,7 @@ def run(systems=SYSTEMS) -> list[RoutingRow]:
     rows = []
     for name in systems:
         fixture = system(name)
-        svc = QuiescentProbeService(fixture.net, fixture.mapper_host)
+        svc = build_service_stack(fixture.net, fixture.mapper_host)
         result = BerkeleyMapper(
             svc, search_depth=fixture.search_depth, host_first=False
         ).run()

@@ -12,8 +12,7 @@
 """
 
 from repro.extensions.crosstraffic import (
-    CrossTrafficProbeService,
-    RetryingProbeService,
+    build_crosstraffic_service,
     crosstraffic_study,
 )
 from repro.extensions.parallel_maps import (
@@ -27,11 +26,10 @@ from repro.extensions.randomized import CouponMapper, EarlyHostProbeService
 
 __all__ = [
     "CouponMapper",
-    "CrossTrafficProbeService",
     "EarlyHostProbeService",
     "MergeConflict",
     "PartialMap",
-    "RetryingProbeService",
+    "build_crosstraffic_service",
     "crosstraffic_study",
     "map_local_region",
     "merge_partial_maps",

@@ -6,16 +6,18 @@ multi-programmed system, is at best a stop-gap measure." Section 7 adds:
 network even in the face of heavy application cross-traffic." This module
 quantifies that claim:
 
-- :class:`CrossTrafficProbeService` evaluates probes against a fabric
-  pre-filled with Poisson host-pair worms
-  (:class:`~repro.simulator.traffic.CrossTraffic`). A probe whose worm
+- :func:`build_crosstraffic_service` stacks an
+  :class:`~repro.simulator.stack.InterferenceLayer` over the quiescent
+  core: the fabric is pre-filled with Poisson host-pair worms
+  (:class:`~repro.simulator.traffic.CrossTraffic`) and a probe whose worm
   collides with traffic is destroyed by the forward reset — the mapper
   sees a timeout. Deductions stay *sound* (traffic produces missing
   answers, never wrong ones), so the failure mode is an incomplete map,
   not a wrong one — matching why the paper's algorithm "oftentimes" still
-  maps correctly.
-- :class:`RetryingProbeService` layers bounded retry on any probe service
-  (each attempt is counted and charged), the obvious mitigation.
+  maps correctly. Mapper worms do not reserve channels against each other
+  (the mapper is sequential), only against the traffic.
+- a :class:`~repro.simulator.stack.RetryLayer` adds bounded retry (each
+  attempt is counted and charged), the obvious mitigation.
 - :func:`crosstraffic_study` sweeps traffic intensity and reports map
   completeness vs. cost, with and without retries.
 """
@@ -27,149 +29,64 @@ from dataclasses import dataclass, field
 from repro.core.mapper import BerkeleyMapper, MappingError
 from repro.simulator.collision import CircuitModel, CollisionModel
 from repro.simulator.occupancy import ChannelOccupancy
-from repro.simulator.path_eval import ProbeInfo
-from repro.simulator.probes import ProbeKind, ProbeRecord, ProbeStats
-from repro.simulator.quiescent import QuiescentProbeService
+from repro.simulator.stack import (
+    InterferenceLayer,
+    RetryLayer,
+    build_service_stack,
+)
 from repro.simulator.timing import MYRINET_TIMING, TimingModel
 from repro.simulator.traffic import CrossTraffic
-from repro.simulator.turns import Turns, switch_probe_turns, validate_turns
 from repro.topology.analysis import core_network
 from repro.topology.isomorphism import match_networks
 from repro.topology.model import Network
 
 __all__ = [
-    "CrossTrafficProbeService",
-    "RetryingProbeService",
     "TrafficPoint",
+    "build_crosstraffic_service",
     "crosstraffic_study",
 ]
 
 
-class CrossTrafficProbeService(QuiescentProbeService):
+def build_crosstraffic_service(
+    net: Network,
+    mapper: str,
+    *,
+    rate_msgs_per_ms: float,
+    message_bytes: int = 4096,
+    collision: CollisionModel | None = None,
+    timing: TimingModel = MYRINET_TIMING,
+    traffic_seed: int = 0,
+    retries: int = 0,
+    **kwargs,
+):
     """Probe service with background worms contending for channels.
 
-    The fabric is pre-filled with cross-traffic over a time horizon; each
-    probe is placed at the service's running clock. Mapper worms do not
-    reserve channels against each other (the mapper is sequential), only
-    against the traffic.
+    Composes the quiescent core with an interference gate fed by a
+    Poisson cross-traffic generator (and, with ``retries`` > 0, a retry
+    layer). Blocked placements are not recorded against the occupancy —
+    a destroyed probe worm leaves nothing behind in the fabric.
     """
-
-    def __init__(
-        self,
-        net: Network,
-        mapper: str,
-        *,
-        rate_msgs_per_ms: float,
-        message_bytes: int = 4096,
-        collision: CollisionModel | None = None,
-        timing: TimingModel = MYRINET_TIMING,
-        traffic_seed: int = 0,
+    occupancy = ChannelOccupancy(timing)
+    traffic = CrossTraffic(
+        net,
+        occupancy,
+        timing,
+        rate_msgs_per_ms=rate_msgs_per_ms,
+        message_bytes=message_bytes,
+        seed=traffic_seed,
+        exclude_hosts=frozenset({mapper}),
+    )
+    layers = [InterferenceLayer(occupancy, traffic=traffic, record_blocked=False)]
+    if retries:
+        layers.append(RetryLayer(retries))
+    return build_service_stack(
+        net,
+        mapper,
+        layers=layers,
+        collision=collision or CircuitModel(),
+        timing=timing,
         **kwargs,
-    ) -> None:
-        super().__init__(
-            net,
-            mapper,
-            collision=collision or CircuitModel(),
-            timing=timing,
-            **kwargs,
-        )
-        self.occupancy = ChannelOccupancy(timing)
-        self.traffic = CrossTraffic(
-            net,
-            self.occupancy,
-            timing,
-            rate_msgs_per_ms=rate_msgs_per_ms,
-            message_bytes=message_bytes,
-            seed=traffic_seed,
-            exclude_hosts=frozenset({mapper}),
-        )
-        self.probes_lost_to_traffic = 0
-
-    def _traffic_blocks(self, info: ProbeInfo) -> bool:
-        now = self._stats.elapsed_us
-        # Lazily generate traffic slightly past the current clock so the
-        # probe contends with everything in flight around it.
-        self.traffic.fill_until(now + 10_000.0)
-        placement = self.occupancy.try_place(info, now, record_blocked=False)
-        if not placement.ok:
-            self.probes_lost_to_traffic += 1
-            return True
-        return False
-
-    def probe_host(self, turns: Turns) -> str | None:
-        turns = validate_turns(turns)
-        info = self._probe_info(turns)
-        hit = False
-        responder = None
-        if (
-            info.ok
-            and info.blocked is None
-            and not self.faults.kills_traversals(info.traversals)
-            and not self._traffic_blocks(info)
-        ):
-            target = info.delivered_to
-            assert target is not None
-            if self._responds(target):
-                hit = True
-                responder = target
-        cost = self._jittered(
-            self.timing.probe_response_us(info.hops, info.hops)
-            if hit
-            else self.timing.probe_timeout_us()
-        )
-        self._stats.record(ProbeRecord(ProbeKind.HOST, turns, hit, cost, responder))
-        return responder
-
-    def probe_switch(self, turns: Turns) -> bool:
-        turns = validate_turns(turns)
-        loop = switch_probe_turns(turns)
-        info = self._probe_info(loop)
-        hit = (
-            info.ok
-            and info.blocked is None
-            and not self.faults.kills_traversals(info.traversals)
-            and not self._traffic_blocks(info)
-        )
-        cost = self._jittered(
-            self.timing.probe_response_us(info.hops, 0)
-            if hit
-            else self.timing.probe_timeout_us()
-        )
-        self._stats.record(
-            ProbeRecord(ProbeKind.SWITCH, turns, hit, cost, "switch" if hit else None)
-        )
-        return hit
-
-
-class RetryingProbeService:
-    """Bounded retry on top of any probe service (all attempts charged)."""
-
-    def __init__(self, inner, *, retries: int = 2) -> None:
-        if retries < 0:
-            raise ValueError("retries must be non-negative")
-        self._inner = inner
-        self._retries = retries
-
-    @property
-    def mapper_host(self) -> str:
-        return self._inner.mapper_host
-
-    @property
-    def stats(self) -> ProbeStats:
-        return self._inner.stats
-
-    def probe_host(self, turns):
-        for _ in range(self._retries + 1):
-            got = self._inner.probe_host(turns)
-            if got is not None:
-                return got
-        return None
-
-    def probe_switch(self, turns):
-        for _ in range(self._retries + 1):
-            if self._inner.probe_switch(turns):
-                return True
-        return False
+    )
 
 
 @dataclass(slots=True)
@@ -211,15 +128,14 @@ def crosstraffic_study(
     points: list[TrafficPoint] = []
     for rate in rates:
         for n_retries in retries:
-            svc: object = CrossTrafficProbeService(
+            svc = build_crosstraffic_service(
                 net,
                 mapper_host,
                 rate_msgs_per_ms=rate,
                 traffic_seed=seed,
+                retries=n_retries,
             )
-            base = svc
-            if n_retries:
-                svc = RetryingProbeService(svc, retries=n_retries)
+            interference = svc.find_layer(InterferenceLayer)
             error = ""
             try:
                 result = BerkeleyMapper(
@@ -242,9 +158,9 @@ def crosstraffic_study(
                     switches_total=core.n_switches,
                     wires_found=produced.n_wires if produced else 0,
                     wires_total=core.n_wires,
-                    probes=base.stats.total_probes,
-                    probes_lost=base.probes_lost_to_traffic,
-                    elapsed_ms=base.stats.elapsed_ms,
+                    probes=svc.stats.total_probes,
+                    probes_lost=interference.lost,
+                    elapsed_ms=svc.stats.elapsed_ms,
                     error=error,
                 )
             )

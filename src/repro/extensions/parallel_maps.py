@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 
 from repro.core.mapper import BerkeleyMapper, MappingError
 from repro.simulator.collision import CircuitModel, CollisionModel
-from repro.simulator.quiescent import QuiescentProbeService
+from repro.simulator.stack import build_service_stack
 from repro.simulator.timing import MYRINET_TIMING, TimingModel
 from repro.topology.model import HOST_PORT, Network, PortRef
 
@@ -70,7 +70,7 @@ def map_local_region(
     timing: TimingModel = MYRINET_TIMING,
 ) -> PartialMap:
     """Map the region within ``local_depth`` probe turns of one host."""
-    svc = QuiescentProbeService(
+    svc = build_service_stack(
         net, mapper_host, collision=collision or CircuitModel(), timing=timing
     )
     result = BerkeleyMapper(

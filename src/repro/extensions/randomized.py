@@ -31,8 +31,9 @@ import random
 
 from repro.core.mapper import BerkeleyMapper
 from repro.simulator.path_eval import PathStatus
-from repro.simulator.probes import ProbeKind, ProbeRecord
+from repro.simulator.probes import ProbeKind
 from repro.simulator.quiescent import QuiescentProbeService
+from repro.simulator.stack import ProbeContext
 from repro.simulator.turns import Turns, validate_turns
 
 __all__ = ["CouponMapper", "EarlyHostProbeService"]
@@ -41,22 +42,17 @@ __all__ = ["CouponMapper", "EarlyHostProbeService"]
 class EarlyHostProbeService(QuiescentProbeService):
     """Quiescent service with the Section 6 firmware change."""
 
-    def probe_host_any(self, turns: Turns) -> tuple[str, Turns] | None:
-        """Host-probe that also succeeds on HIT-A-HOST-TOO-SOON.
-
-        Returns ``(host, prefix)`` where ``prefix`` is the (possibly whole)
-        turn string that reached the host, or ``None``.
-        """
-        turns = validate_turns(turns)
-        path = self._path(turns)
+    def _eval_host_any(self, ctx: ProbeContext) -> None:
+        path = self._path(ctx.turns)
+        ctx.info = path
         host: str | None = None
-        prefix: Turns = turns
+        prefix: Turns = ctx.turns
         if path.status is PathStatus.DELIVERED:
             host = path.delivered_to
         elif path.status is PathStatus.HIT_HOST_TOO_SOON:
             host = path.nodes[-1]
             assert path.failed_at_turn is not None
-            prefix = turns[: path.failed_at_turn]
+            prefix = ctx.turns[: path.failed_at_turn]
         if host is not None:
             if self.collision.blocked_at(path.traversals) is not None:
                 host = None
@@ -64,14 +60,23 @@ class EarlyHostProbeService(QuiescentProbeService):
                 host = None
             elif not self._responds(host):
                 host = None
-        hit = host is not None
-        cost = self._jittered(
-            self.timing.probe_response_us(path.hops, path.hops)
-            if hit
-            else self.timing.probe_timeout_us()
+        if host is not None:
+            ctx.hit = True
+            ctx.responder = host
+            ctx.response = host
+            ctx.payload = (host, prefix)
+
+    def probe_host_any(self, turns: Turns) -> tuple[str, Turns] | None:
+        """Host-probe that also succeeds on HIT-A-HOST-TOO-SOON.
+
+        Returns ``(host, prefix)`` where ``prefix`` is the (possibly whole)
+        turn string that reached the host, or ``None``.
+        """
+        turns = validate_turns(turns)
+        ctx = self._transact(
+            ProbeKind.HOST, turns, self._eval_host_any, round_trip=True
         )
-        self._stats.record(ProbeRecord(ProbeKind.HOST, turns, hit, cost, host))
-        return (host, prefix) if host is not None else None
+        return ctx.payload if ctx.hit else None
 
 _KIND_SWITCH = "switch"
 _KIND_HOST = "host"

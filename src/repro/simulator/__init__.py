@@ -12,6 +12,9 @@ Everything the mapping algorithms can observe in-band is produced here:
   accounting;
 - :mod:`~repro.simulator.quiescent` — the quiescent-network probe service
   (the setting of the correctness proof) with a calibrated timing model;
+- :mod:`~repro.simulator.stack` — composable middleware layers over the
+  quiescent core (stats, caps, chaos, interference, trace bus) and the
+  :func:`~repro.simulator.stack.build_service_stack` factory;
 - :mod:`~repro.simulator.timing` — hardware constants and the cost model;
 - :mod:`~repro.simulator.events` — a discrete-event engine;
 - :mod:`~repro.simulator.occupancy` — directed-channel occupancy for
@@ -45,29 +48,53 @@ from repro.simulator.collision import (
 )
 from repro.simulator.probes import ProbeKind, ProbeService, ProbeStats
 from repro.simulator.quiescent import QuiescentProbeService
+from repro.simulator.stack import (
+    CapLayer,
+    CountingLayer,
+    InterferenceLayer,
+    ProbeBudgetExceeded,
+    ProbeContext,
+    ProbeLayer,
+    RetryLayer,
+    StatsLayer,
+    TraceBusLayer,
+    build_service_stack,
+    describe_stack,
+)
 from repro.simulator.timing import TimingModel, MYRINET_TIMING
 from repro.simulator.faults import FaultModel
 
 __all__ = [
+    "CapLayer",
     "CircuitModel",
     "CollisionModel",
+    "CountingLayer",
     "CutThroughModel",
     "EvalCacheStats",
     "FaultModel",
+    "InterferenceLayer",
     "IncrementalPathEvaluator",
     "MYRINET_TIMING",
     "PacketModel",
     "PathResult",
     "PathStatus",
+    "ProbeBudgetExceeded",
+    "ProbeContext",
     "ProbeInfo",
     "ProbeKind",
+    "ProbeLayer",
     "ProbeService",
     "ProbeStats",
     "QuiescentProbeService",
+    "RetryLayer",
+    "StatsLayer",
     "TimingModel",
+    "TraceBusLayer",
     "TURN_MAX",
     "TURN_MIN",
     "Turns",
+    "build_service_stack",
+    "describe_stack",
     "reverse_turns",
     "switch_probe_turns",
     "validate_turns",

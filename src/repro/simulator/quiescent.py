@@ -4,8 +4,7 @@
 worms can only deadlock on themselves" (Section 2.3.1). Under quiescence a
 probe's fate is a pure function of the topology, the collision model and the
 fault model, so the service evaluates probes analytically and charges the
-timing model for each — no event queue needed. (Concurrent scenarios —
-election mode, cross-traffic — use :mod:`repro.simulator.occupancy`.)
+timing model for each — no event queue needed.
 
 Host-probe semantics beyond path evaluation:
 
@@ -14,6 +13,13 @@ Host-probe semantics beyond path evaluation:
   mechanism: absent responders turn would-be hits into expensive timeouts);
 - the reply retraces the probe path in reverse; under quiescence it cannot
   collide with anything (the probe worm is gone by then).
+
+Non-quiescent concerns — election silence, shared-fabric contention, chaos
+event injection, cross-traffic, probe budgets — are *not* subclassed or
+wrapped around this service. They are middleware layers from
+:mod:`repro.simulator.stack` hooking into the single probe transaction
+(:meth:`QuiescentProbeService._transact`); compose them with
+:func:`~repro.simulator.stack.build_service_stack`.
 """
 
 from __future__ import annotations
@@ -22,7 +28,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.simulator.collision import CircuitModel, CollisionModel
-from repro.simulator.faults import NO_FAULTS, FaultModel
+from repro.simulator.faults import FaultModel
 from repro.simulator.path_eval import (
     EvalCacheStats,
     IncrementalPathEvaluator,
@@ -32,6 +38,7 @@ from repro.simulator.path_eval import (
     evaluate_route,
 )
 from repro.simulator.probes import ProbeKind, ProbeRecord, ProbeStats
+from repro.simulator.stack import ProbeContext, ProbeLayer, StatsLayer
 from repro.simulator.timing import MYRINET_TIMING, TimingModel
 from repro.simulator.turns import Turns, switch_probe_turns, validate_turns
 from repro.topology.model import Network
@@ -59,6 +66,16 @@ class QuiescentProbeService:
         Hosts that answer host-probes. ``None`` means every host.
     faults:
         Optional loss/corruption/dead-wire injection.
+    layers:
+        Middleware layers (:class:`~repro.simulator.stack.ProbeLayer`)
+        hooked into every probe transaction, in order. A
+        :class:`~repro.simulator.stack.StatsLayer` among them takes over
+        stats ownership (and its trace policy wins over ``keep_trace``);
+        otherwise one is created from ``keep_trace``.
+    rng:
+        Share a jitter RNG with the caller (the election run interleaves
+        its own draws with probe jitter on one stream). ``None`` seeds a
+        private ``random.Random(seed)``.
     """
 
     net: Network
@@ -78,29 +95,164 @@ class QuiescentProbeService:
     #: :func:`evaluate_route` (used by the equivalence tests and the
     #: cache-off benchmark arm).
     use_cache: bool = True
+    layers: tuple = ()
+    rng: random.Random | None = None
 
     def __post_init__(self) -> None:
         if not self.net.is_host(self.mapper):
             raise ValueError(f"mapper {self.mapper} is not a host")
         if not 0.0 <= self.jitter < 1.0:
             raise ValueError("jitter must be in [0, 1)")
-        self._stats = ProbeStats(trace=[] if self.keep_trace else None)
+        stats_layer: StatsLayer | None = None
+        rest: list[ProbeLayer] = []
+        for layer in self.layers:
+            if isinstance(layer, StatsLayer):
+                if stats_layer is not None:
+                    raise ValueError("at most one StatsLayer per stack")
+                stats_layer = layer
+            else:
+                rest.append(layer)
+        if stats_layer is None:
+            stats_layer = StatsLayer(keep_trace=self.keep_trace)
+        self._stats_layer = stats_layer
+        self._stats = stats_layer.stats
+        self._layers: tuple[ProbeLayer, ...] = tuple(rest)
         # Turn-alphabet radius: Myrinet encodes {-7..+7}; wider fabrics
         # need wider routing flits, so derive the limit from the hardware.
         self._turn_limit = max(
             (self.net.radix(s) - 1 for s in self.net.switches), default=7
         )
-        self._rng = random.Random(self.seed)
+        self._rng = self.rng if self.rng is not None else random.Random(self.seed)
         self._evaluator = (
             IncrementalPathEvaluator(self.net, faults=self.faults)
             if self.use_cache
             else None
         )
+        # One reusable transaction context per service. ``_transact`` is
+        # not re-entrant: no layer hook may probe through its own service
+        # (they mutate clocks/topology or observe records instead), and
+        # callers consume the context before the next probe starts.
+        self._ctx = ProbeContext(ProbeKind.HOST, (), self)
+        stats_layer.on_attach(self)
+        for layer in self._layers:
+            layer.on_attach(self)
 
     def _jittered(self, cost: float) -> float:
         if not self.jitter:
             return cost
         return cost * self._rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+
+    # -- the probe transaction -------------------------------------------
+    def _transact(
+        self,
+        kind: ProbeKind,
+        turns: Turns,
+        evaluate,
+        *,
+        round_trip: bool,
+        check_responder: bool = False,
+    ) -> ProbeContext:
+        """Run one probe through the full middleware pipeline.
+
+        One attempt = before hooks, path evaluation, hit gates, the
+        responder check, cost + accounting, after hooks. A layer may
+        demand a retry after a miss; each retry is a complete fresh
+        attempt (a re-sent probe), not a re-examination.
+        """
+        layers = self._layers
+        ctx = self._ctx
+        ctx.kind = kind
+        ctx.turns = turns
+        ctx.attempt = 0
+        ctx.hit = False
+        if layers:
+            # Layer hooks may inspect any context field, so scrub the
+            # leftovers from the previous transaction. The layerless fast
+            # path skips this: evaluate() always writes ``info`` before
+            # the engine reads it, and the hit-only fields are only read
+            # when this transaction's evaluate set them.
+            ctx.info = None
+            ctx.responder = None
+            ctx.response = None
+            ctx.record = None
+            ctx.payload = None
+        while True:
+            if layers:
+                for layer in layers:
+                    layer.before(ctx)
+            evaluate(ctx)
+            if layers and ctx.hit:
+                for layer in layers:
+                    layer.gate(ctx)
+                    if not ctx.hit:
+                        break
+            if check_responder and ctx.hit and not self._responds(ctx.responder):
+                ctx.hit = False
+            hit = ctx.hit
+            info = ctx.info
+            cost = self._jittered(
+                self.timing.probe_response_us(
+                    info.hops, info.hops if round_trip else 0
+                )
+                if hit
+                else self.timing.probe_timeout_us()
+            )
+            record = ProbeRecord(
+                kind, turns, hit, cost, ctx.response if hit else None
+            )
+            self._stats.record(record)
+            ctx.record = record
+            if layers:
+                for layer in layers:
+                    layer.after(ctx)
+                if not hit and any(
+                    layer.retry_after_miss(ctx) for layer in layers
+                ):
+                    ctx.attempt += 1
+                    ctx.info = None
+                    ctx.hit = False
+                    ctx.responder = None
+                    ctx.response = None
+                    ctx.record = None
+                    ctx.payload = None
+                    continue
+            return ctx
+
+    # -- evaluation callables (one per probe kind) -----------------------
+    def _eval_host(self, ctx: ProbeContext) -> None:
+        info = self._probe_info(ctx.turns)
+        ctx.info = info
+        if info.ok and info.blocked is None:
+            if not self.faults.kills_traversals(info.traversals):
+                target = info.delivered_to
+                assert target is not None
+                ctx.hit = True
+                ctx.responder = target
+                ctx.response = target
+
+    def _eval_switch(self, ctx: ProbeContext) -> None:
+        info = self._loopback_info(ctx.turns)
+        ctx.info = info
+        if info.ok:
+            # By construction the loopback terminates back at the mapper.
+            assert info.delivered_to == self.mapper
+            if info.blocked is None and not self.faults.kills_traversals(
+                info.traversals
+            ):
+                ctx.hit = True
+                ctx.response = "switch"
+
+    def _eval_loopback(self, ctx: ProbeContext) -> None:
+        info = self._probe_info(ctx.turns)
+        ctx.info = info
+        if (
+            info.ok
+            and info.delivered_to == self.mapper
+            and info.blocked is None
+            and not self.faults.kills_traversals(info.traversals)
+        ):
+            ctx.hit = True
+            ctx.response = "loopback"
 
     # -- ProbeService ----------------------------------------------------
     @property
@@ -111,48 +263,41 @@ class QuiescentProbeService:
     def stats(self) -> ProbeStats:
         return self._stats
 
+    @property
+    def stack_layers(self) -> tuple[ProbeLayer, ...]:
+        """The middleware layers, in hook order (stats excluded)."""
+        return self._layers
+
+    @property
+    def stats_layer(self) -> StatsLayer:
+        return self._stats_layer
+
+    def find_layer(self, cls: type):
+        """First attached layer that is an instance of ``cls``, or None."""
+        if isinstance(self._stats_layer, cls):
+            return self._stats_layer
+        for layer in self._layers:
+            if isinstance(layer, cls):
+                return layer
+        return None
+
     def probe_host(self, turns: Turns) -> str | None:
         turns = validate_turns(turns, limit=self._turn_limit)
-        info = self._probe_info(turns)
-        hit = False
-        responder: str | None = None
-        if info.ok and info.blocked is None:
-            if not self.faults.kills_traversals(info.traversals):
-                target = info.delivered_to
-                assert target is not None
-                if self._responds(target):
-                    hit = True
-                    responder = target
-        cost = self._jittered(
-            self.timing.probe_response_us(info.hops, info.hops)
-            if hit
-            else self.timing.probe_timeout_us()
+        ctx = self._transact(
+            ProbeKind.HOST,
+            turns,
+            self._eval_host,
+            round_trip=True,
+            check_responder=True,
         )
-        self._stats.record(
-            ProbeRecord(ProbeKind.HOST, turns, hit, cost, responder)
-        )
-        return responder
+        return ctx.responder if ctx.hit else None
 
     def probe_switch(self, turns: Turns) -> bool:
         turns = validate_turns(turns, limit=self._turn_limit)
-        info = self._loopback_info(turns)
-        hit = False
-        if info.ok:
-            # By construction the loopback terminates back at the mapper.
-            assert info.delivered_to == self.mapper
-            if info.blocked is None and not self.faults.kills_traversals(
-                info.traversals
-            ):
-                hit = True
-        cost = self._jittered(
-            self.timing.probe_response_us(info.hops, 0)
-            if hit
-            else self.timing.probe_timeout_us()
+        ctx = self._transact(
+            ProbeKind.SWITCH, turns, self._eval_switch, round_trip=False
         )
-        self._stats.record(
-            ProbeRecord(ProbeKind.SWITCH, turns, hit, cost, "switch" if hit else None)
-        )
-        return hit
+        return ctx.hit
 
     def probe_loopback(self, turns: Turns) -> bool:
         """Send an arbitrary worm (zeros allowed); True iff it returns here.
@@ -164,24 +309,10 @@ class QuiescentProbeService:
         Myricom mapper keeps its own per-category counters on top.
         """
         seq = validate_turns(turns, allow_zero=True, limit=self._turn_limit)
-        info = self._probe_info(seq)
-        hit = (
-            info.ok
-            and info.delivered_to == self.mapper
-            and info.blocked is None
-            and not self.faults.kills_traversals(info.traversals)
+        ctx = self._transact(
+            ProbeKind.SWITCH, seq, self._eval_loopback, round_trip=False
         )
-        cost = self._jittered(
-            self.timing.probe_response_us(info.hops, 0)
-            if hit
-            else self.timing.probe_timeout_us()
-        )
-        self._stats.record(
-            ProbeRecord(
-                ProbeKind.SWITCH, seq, hit, cost, "loopback" if hit else None
-            )
-        )
-        return hit
+        return ctx.hit
 
     # -- cached evaluation -------------------------------------------------
     def _probe_info(self, turns: Turns) -> ProbeInfo:

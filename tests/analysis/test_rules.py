@@ -70,15 +70,24 @@ BAD_SNIPPETS = {
     """,
     "SAN009": """
         from repro.simulator.path_eval import evaluate_route
+        from repro.simulator.quiescent import QuiescentProbeService
 
-        class FastProbeService:
-            def probe_host(self, turns):
+        class FastProbeService(QuiescentProbeService):
+            def _walk(self, turns):
                 return evaluate_route(self.net, self.mapper, turns)
     """,
     "SAN010": """
         from repro.chaos.scenario import Scenario
 
         campaign = [Scenario("flaky-links", events)]
+    """,
+    "SAN011": """
+        class CappedProbeService:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def probe_host(self, turns):
+                return self._inner.probe_host(turns)
     """,
 }
 
@@ -102,8 +111,11 @@ def test_every_diag_carries_the_rules_hint(rule_id):
     assert "hint:" not in diag.render(show_hint=False)
 
 
-def test_registry_has_the_ten_domain_rules():
-    assert all_rule_ids() == [f"SAN00{i}" for i in range(1, 10)] + ["SAN010"]
+def test_registry_has_the_eleven_domain_rules():
+    assert all_rule_ids() == [f"SAN00{i}" for i in range(1, 10)] + [
+        "SAN010",
+        "SAN011",
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -243,7 +255,9 @@ def test_san007_allows_service_classes_and_simulator_package():
                 self.stats.record(rec)
                 return None
     """
-    assert ids(lint(service)) == []
+    # SAN011 separately forbids the ad-hoc wrapper itself; SAN007 only
+    # cares that the record is built *inside* a service implementation.
+    assert ids(lint(service, ignore=("SAN011",))) == []
     subclass = """
         from repro.simulator.probes import ProbeKind, ProbeRecord
         from repro.simulator.quiescent import QuiescentProbeService
@@ -293,7 +307,7 @@ def test_san009_quiet_outside_services_and_via_evaluator():
             def probe_host(self, turns):
                 return self._evaluator.probe_info(self.mapper, turns, self.collision)
     """
-    assert ids(lint(evaluator)) == []
+    assert ids(lint(evaluator, ignore=("SAN011",))) == []
 
 
 def test_san009_disable_comment_is_the_escape_hatch():
@@ -304,7 +318,7 @@ def test_san009_disable_comment_is_the_escape_hatch():
             def probe_host(self, turns):
                 return evaluate_route(self.net, self.mapper, turns)  # sanlint: disable=SAN009
     """
-    assert ids(lint(src)) == []
+    assert ids(lint(src, ignore=("SAN011",))) == []
 
 
 # ---------------------------------------------------------------------------
@@ -434,3 +448,52 @@ def test_san010_quiet_on_seeded_and_splatted_calls():
         s = Scenario("x", **loaded_kwargs)
     """
     assert ids(lint(splat)) == []  # a splat may carry seed=; don't guess
+
+
+def test_san011_flags_each_canonical_method_once():
+    src = """
+        class ChattyProbeService:
+            def probe_host(self, turns):
+                return None
+
+            def probe_switch(self, turns):
+                return False
+
+            def probe_loopback(self, turns):
+                return False
+    """
+    assert ids(lint(src)) == ["SAN011", "SAN011", "SAN011"]
+
+
+def test_san011_quiet_inside_the_stack_modules():
+    src = """
+        class QuiescentProbeService:
+            def probe_host(self, turns):
+                return None
+    """
+    assert ids(lint(src, module="repro.simulator.quiescent")) == []
+    assert ids(lint(src, module="repro.simulator.stack")) == []
+    assert "SAN011" in ids(lint(src, module="repro.core.mapper"))
+
+
+def test_san011_skips_protocol_declarations():
+    src = """
+        from typing import Protocol
+
+        class ProbeService(Protocol):
+            def probe_host(self, turns):
+                ...
+    """
+    assert ids(lint(src, module="repro.simulator.probes")) == []
+
+
+def test_san011_allows_new_probe_kinds_on_subclasses():
+    src = """
+        from repro.simulator.quiescent import QuiescentProbeService
+
+        class SelfIdProbeService(QuiescentProbeService):
+            def probe_switch_id(self, turns):
+                ctx = self._transact(None, turns, self._eval, round_trip=False)
+                return ctx.payload if ctx.hit else None
+    """
+    assert ids(lint(src, module="repro.baselines.selfid")) == []

@@ -6,7 +6,7 @@ import pytest
 
 from repro.chaos.runner import (
     CampaignConfig,
-    ChaosProbeService,
+    ChaosLayer,
     build_topology,
     campaign_config_from_dict,
     campaign_config_to_dict,
@@ -23,7 +23,7 @@ from repro.chaos.scenario import (
     kill_switch,
 )
 from repro.simulator.faults import FaultModel
-from repro.simulator.quiescent import QuiescentProbeService
+from repro.simulator.stack import build_service_stack
 
 RING6 = {"kind": "ring", "size": 6}
 
@@ -65,11 +65,16 @@ class TestMidMapEvents:
         net, mapper = build_topology(RING6)
         faults = FaultModel(seed=0)
         applier = ScenarioApplier(net, faults)
-        inner = QuiescentProbeService(net, mapper, faults=faults)
-        svc = ChaosProbeService(
-            inner,
-            applier,
-            [drop(0, 0.5, after_probes=3), drop(0, 0.9, after_probes=5)],
+        svc = build_service_stack(
+            net,
+            mapper,
+            layers=(
+                ChaosLayer(
+                    applier,
+                    [drop(0, 0.5, after_probes=3), drop(0, 0.9, after_probes=5)],
+                ),
+            ),
+            faults=faults,
         )
         for n_sent, expected_drop in [
             (1, 0.0), (2, 0.0), (3, 0.0), (4, 0.5), (5, 0.5), (6, 0.9),

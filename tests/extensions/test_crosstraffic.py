@@ -4,37 +4,40 @@ import pytest
 
 from repro.core.mapper import BerkeleyMapper
 from repro.extensions.crosstraffic import (
-    CrossTrafficProbeService,
-    RetryingProbeService,
+    build_crosstraffic_service,
     crosstraffic_study,
 )
+from repro.simulator.stack import InterferenceLayer, RetryLayer
 from repro.simulator.quiescent import QuiescentProbeService
 from repro.topology.analysis import recommended_search_depth
-from repro.topology.isomorphism import match_networks
+
+
+def _lost(svc) -> int:
+    return svc.find_layer(InterferenceLayer).lost
 
 
 class TestTrafficService:
     def test_zero_rate_identical_to_quiescent(self, ring_net):
         depth = recommended_search_depth(ring_net, "h0")
-        svc_t = CrossTrafficProbeService(ring_net, "h0", rate_msgs_per_ms=0.0)
+        svc_t = build_crosstraffic_service(ring_net, "h0", rate_msgs_per_ms=0.0)
         svc_q = QuiescentProbeService(ring_net, "h0")
         a = BerkeleyMapper(svc_t, search_depth=depth, host_first=False).run()
         b = BerkeleyMapper(svc_q, search_depth=depth, host_first=False).run()
         assert a.stats.total_probes == b.stats.total_probes
-        assert svc_t.probes_lost_to_traffic == 0
+        assert _lost(svc_t) == 0
 
     def test_heavy_traffic_loses_probes(self, ring_net):
         depth = recommended_search_depth(ring_net, "h0")
-        svc = CrossTrafficProbeService(
+        svc = build_crosstraffic_service(
             ring_net, "h0", rate_msgs_per_ms=200.0, traffic_seed=3
         )
         BerkeleyMapper(svc, search_depth=depth, host_first=False).run()
-        assert svc.probes_lost_to_traffic > 0
+        assert _lost(svc) > 0
 
     def test_losses_never_corrupt_only_omit(self, ring_net):
         """Deductions are sound: the produced map embeds in the truth."""
         depth = recommended_search_depth(ring_net, "h0")
-        svc = CrossTrafficProbeService(
+        svc = build_crosstraffic_service(
             ring_net, "h0", rate_msgs_per_ms=150.0, traffic_seed=5
         )
         result = BerkeleyMapper(svc, search_depth=depth, host_first=False).run()
@@ -46,18 +49,16 @@ class TestTrafficService:
 
 
 class TestRetries:
-    def test_retry_service_counts_all_attempts(self, tiny_net):
-        svc = RetryingProbeService(
-            QuiescentProbeService(tiny_net, "h0"), retries=2
-        )
+    def test_retry_layer_counts_all_attempts(self, tiny_net):
+        svc = QuiescentProbeService(tiny_net, "h0", layers=(RetryLayer(2),))
         assert svc.probe_host((2,)) is None  # structural miss: 3 attempts
         assert svc.stats.host_probes == 3
         assert svc.probe_host((3,)) == "h1"  # hit: 1 attempt
         assert svc.stats.host_probes == 4
 
-    def test_negative_retries_rejected(self, tiny_net):
+    def test_negative_retries_rejected(self):
         with pytest.raises(ValueError):
-            RetryingProbeService(QuiescentProbeService(tiny_net, "h0"), retries=-1)
+            RetryLayer(-1)
 
 
 class TestStudy:

@@ -21,6 +21,7 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 from repro.simulator.collision import CircuitModel, CutThroughModel, PacketModel
 from repro.simulator.faults import FaultModel
 from repro.simulator.quiescent import QuiescentProbeService
+from repro.simulator.stack import StatsLayer, build_service_stack
 from repro.topology.generators import random_san
 from repro.topology.model import TopologyError
 
@@ -76,12 +77,14 @@ def _services(params, collision, *, drop, corrupt, jitter, seed):
     mapper = sorted(net.hosts)[0]
 
     def build(use_cache: bool) -> QuiescentProbeService:
-        return QuiescentProbeService(
+        # Built through the stack factory with an explicit StatsLayer so
+        # the equivalence proof covers the stacked construction path too.
+        return build_service_stack(
             net,
             mapper,
+            layers=(StatsLayer(keep_trace=True),),
             collision=collision,
             faults=FaultModel(drop_prob=drop, corrupt_prob=corrupt, seed=seed),
-            keep_trace=True,
             jitter=jitter,
             seed=seed,
             use_cache=use_cache,
