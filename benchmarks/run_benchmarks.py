@@ -126,6 +126,40 @@ def _stacked_layers() -> tuple:
     return (CountingLayer(), TraceBusLayer((published.append,)))
 
 
+def _sanlint_repo(cache_path: Path) -> tuple[float, dict]:
+    from repro.analysis.engine import lint_paths
+
+    start = time.perf_counter()
+    diags = lint_paths([REPO_ROOT / "src" / "repro"], cache_path=cache_path)
+    elapsed = time.perf_counter() - start
+    assert diags == [], "src/repro must lint clean"
+    return elapsed, {}
+
+
+def _micro_sanlint_cold() -> tuple[float, dict]:
+    """Whole-repo sanflow pass with an empty result cache every time."""
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as td:
+        return _sanlint_repo(Path(td) / "cache.json")
+
+
+_SANLINT_WARM_CACHE: Path | None = None
+
+
+def _micro_sanlint_warm() -> tuple[float, dict]:
+    """Whole-repo sanflow pass against a populated result cache."""
+    import tempfile
+
+    global _SANLINT_WARM_CACHE
+    if _SANLINT_WARM_CACHE is None:
+        _SANLINT_WARM_CACHE = (
+            Path(tempfile.mkdtemp(prefix="sanlint-bench-")) / "cache.json"
+        )
+        _sanlint_repo(_SANLINT_WARM_CACHE)  # populate once
+    return _sanlint_repo(_SANLINT_WARM_CACHE)
+
+
 MICRO_SUITE: dict[str, Bench] = {
     "route_eval": _micro_route_eval,
     "switch_probe_eval": _micro_switch_probe_eval,
@@ -135,6 +169,8 @@ MICRO_SUITE: dict[str, Bench] = {
     "full_mapping_subcluster_stacked": lambda: _mapping_run(
         True, _stacked_layers()
     ),
+    "sanlint_whole_repo_cold": _micro_sanlint_cold,
+    "sanlint_whole_repo_warm": _micro_sanlint_warm,
 }
 
 

@@ -1,0 +1,90 @@
+"""Baseline suppression for adopting sanlint rules over legacy code.
+
+A baseline file records findings that predate a rule's adoption so a
+directory can be brought under lint without first fixing (or annotating)
+every historical violation. Entries match on **(path, rule, line)** with
+paths normalized to repo-relative POSIX form; a baselined finding is
+dropped from the report, and the run exits clean if nothing *new* is
+found.
+
+The workflow (see docs/STATIC_ANALYSIS.md):
+
+1. ``san-lint --write-baseline .sanlint-baseline.json <paths>`` records
+   the current findings;
+2. commit the file, wire ``--baseline .sanlint-baseline.json`` into CI;
+3. burn entries down over time — a fixed finding simply stops matching,
+   and ``--write-baseline`` regenerates the file without it.
+
+Line numbers make matching precise but brittle under unrelated edits to
+the same file; when a baselined file is touched, regenerate the baseline
+(step 3) rather than hand-editing line numbers.
+
+``src/repro`` itself must always lint green with an **empty** baseline —
+the tier-1 test enforces that; baselines are for the outer rings
+(benchmarks, examples, scripts).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.diagnostics import Diagnostic
+
+__all__ = ["Baseline", "load_baseline", "write_baseline"]
+
+
+def _normalize(path: str) -> str:
+    p = Path(path)
+    try:
+        p = p.resolve().relative_to(Path.cwd().resolve())
+    except ValueError:
+        pass
+    return p.as_posix()
+
+
+class Baseline:
+    """An in-memory set of (path, rule, line) suppression entries."""
+
+    def __init__(
+        self, entries: Sequence[tuple[str, str, int]] = ()
+    ) -> None:
+        self._entries = {(p, r, ln) for p, r, ln in entries}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def matches(self, diag: Diagnostic) -> bool:
+        return (_normalize(diag.path), diag.rule_id, diag.line) in self._entries
+
+    def filter(self, diagnostics: Sequence[Diagnostic]) -> list[Diagnostic]:
+        return [d for d in diagnostics if not self.matches(d)]
+
+
+def load_baseline(path: Path) -> Baseline:
+    data = json.loads(path.read_text(encoding="utf-8"))
+    entries = [
+        (str(e["path"]), str(e["rule"]), int(e["line"]))
+        for e in data.get("entries", [])
+    ]
+    return Baseline(entries)
+
+
+def write_baseline(path: Path, diagnostics: Sequence[Diagnostic]) -> int:
+    """Record the given findings as the new baseline; returns entry count."""
+    entries = sorted(
+        {(_normalize(d.path), d.rule_id, d.line) for d in diagnostics}
+    )
+    payload = {
+        "comment": (
+            "sanlint baseline: pre-existing findings accepted at adoption "
+            "time. Regenerate with `san-lint --write-baseline` after fixing "
+            "or touching baselined files; do not hand-edit line numbers."
+        ),
+        "entries": [
+            {"path": p, "rule": r, "line": ln} for p, r, ln in entries
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(entries)

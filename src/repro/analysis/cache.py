@@ -1,0 +1,173 @@
+"""Content-hash-keyed incremental result cache for sanflow.
+
+The whole-repo analysis runs on every pytest invocation (the tier-1
+codebase-clean gate) and in CI, so the cold cost — parse every module,
+run eleven AST rules, summarize for the project pass — must not be paid
+twice for unchanged files. The cache stores, per file, keyed by the
+SHA-256 of its source:
+
+- the *post-suppression* module-rule diagnostics,
+- the sanflow module summary (already plain JSON by construction),
+- the suppression tables (project-rule diagnostics are re-filtered
+  against them on every run).
+
+Project rules always re-run — they are whole-program by nature and any
+file's change can shift their verdicts — but they read summaries, never
+source, so a warm run does zero parsing for unchanged files.
+
+The whole cache is invalidated when the analysis package itself changes:
+``rules_signature()`` hashes the source of every module in
+:mod:`repro.analysis`, so editing a rule never serves stale results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.diagnostics import Diagnostic
+
+__all__ = [
+    "AnalysisCache",
+    "cached_diagnostics",
+    "cached_suppressions",
+    "rules_signature",
+    "source_digest",
+]
+
+_CACHE_VERSION = 1
+
+_sig_cache: str | None = None
+
+
+def source_digest(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def rules_signature() -> str:
+    """Digest of the analysis package source: rule changes flush the cache."""
+    global _sig_cache
+    if _sig_cache is None:
+        h = hashlib.sha256()
+        package_dir = Path(__file__).resolve().parent
+        for path in sorted(package_dir.glob("*.py")):
+            h.update(path.name.encode())
+            h.update(path.read_bytes())
+        _sig_cache = h.hexdigest()
+    return _sig_cache
+
+
+class AnalysisCache:
+    """One JSON file mapping source digests to per-file analysis results."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self._files: dict[str, dict[str, Any]] = {}
+        self._dirty = False
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.is_file():
+            return
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return  # unreadable/corrupt cache: start cold
+        if (
+            data.get("version") != _CACHE_VERSION
+            or data.get("rules_sig") != rules_signature()
+        ):
+            return
+        files = data.get("files")
+        if isinstance(files, dict):
+            self._files = files
+
+    def get(self, path: str, digest: str) -> dict[str, Any] | None:
+        entry = self._files.get(path)
+        if entry is not None and entry.get("sha") == digest:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def put(
+        self,
+        path: str,
+        digest: str,
+        *,
+        module: str,
+        diagnostics: list[Diagnostic],
+        summary: dict[str, Any],
+        line_suppressions: dict[int, set[str] | None],
+        file_suppressions: set[str] | None | bool,
+    ) -> None:
+        self._files[path] = {
+            "sha": digest,
+            "module": module,
+            "diags": [d.to_json() for d in diagnostics],
+            "summary": summary,
+            "line_supp": {
+                str(line): (None if ids is None else sorted(ids))
+                for line, ids in line_suppressions.items()
+            },
+            "file_supp": (
+                file_suppressions
+                if isinstance(file_suppressions, bool) or file_suppressions is None
+                else sorted(file_suppressions)
+            ),
+        }
+        self._dirty = True
+
+    def prune(self, live_paths: set[str]) -> None:
+        """Drop entries for deleted files.
+
+        Entries outside this run's analyzed set are kept as long as their
+        file still exists: one cache serves interleaved invocations over
+        different path sets (``san-lint src/repro`` and the pytest gate,
+        say) without evicting each other's results.
+        """
+        dead = [
+            p
+            for p in self._files
+            if p not in live_paths and not Path(p).is_file()
+        ]
+        for p in dead:
+            del self._files[p]
+            self._dirty = True
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        payload = {
+            "version": _CACHE_VERSION,
+            "rules_sig": rules_signature(),
+            "files": self._files,
+        }
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        tmp.replace(self.path)
+        self._dirty = False
+
+
+def cached_diagnostics(entry: dict[str, Any]) -> list[Diagnostic]:
+    return [Diagnostic.from_json(d) for d in entry["diags"]]
+
+
+def cached_suppressions(
+    entry: dict[str, Any],
+) -> tuple[dict[int, set[str] | None], set[str] | None | bool]:
+    line_supp = {
+        int(line): (None if ids is None else set(ids))
+        for line, ids in entry["line_supp"].items()
+    }
+    raw = entry["file_supp"]
+    file_supp: set[str] | None | bool
+    if isinstance(raw, bool) or raw is None:
+        file_supp = raw
+    else:
+        file_supp = set(raw)
+    return line_supp, file_supp

@@ -1,0 +1,270 @@
+"""Control-flow graphs and path queries for sanflow's flow-sensitive rules.
+
+SAN012 (epoch soundness) needs a *path* property, not a pattern: "every
+path from a state mutation to a ``return`` passes an epoch bump". This
+module builds a statement-level control-flow graph per function and
+answers exactly that query.
+
+The CFG is deliberately small and conservative:
+
+- every top-level statement of the function body is a node (compound
+  statements contribute a *header* node for their test/iterator plus
+  nodes for their nested statements);
+- two synthetic exits: ``RETURN`` (explicit ``return`` or falling off the
+  end) and ``RAISE`` (``raise`` statements and the exceptional edges of
+  ``try`` bodies). Rules that exempt exception paths — a failed mutator
+  leaves state *and* epoch untouched, so the atomicity contract holds —
+  query reachability of the ``RETURN`` exit only;
+- ``try`` bodies edge into their handlers from every contained statement
+  (any statement may raise), which over-approximates the real paths and
+  therefore never hides one;
+- nested function and class definitions are opaque single statements
+  (their bodies run at call time, not on this path), a documented
+  limitation of the analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+__all__ = ["CFG", "build_cfg", "unguarded_path_nodes", "all_paths_hit"]
+
+#: Synthetic node ids. Real statements get non-negative ids.
+ENTRY = -1
+RETURN_EXIT = -2
+RAISE_EXIT = -3
+
+
+@dataclass
+class CFG:
+    """A per-function control-flow graph over statement nodes."""
+
+    stmts: dict[int, ast.stmt] = field(default_factory=dict)
+    succ: dict[int, set[int]] = field(default_factory=dict)
+
+    def add_node(self, stmt: ast.stmt) -> int:
+        node = len(self.stmts)
+        self.stmts[node] = stmt
+        self.succ.setdefault(node, set())
+        return node
+
+    def add_edge(self, src: int, dst: int) -> None:
+        self.succ.setdefault(src, set()).add(dst)
+
+    @property
+    def pred(self) -> dict[int, set[int]]:
+        out: dict[int, set[int]] = {n: set() for n in self.succ}
+        for src, dsts in self.succ.items():
+            for dst in dsts:
+                out.setdefault(dst, set()).add(src)
+        return out
+
+    def nodes_matching(
+        self, predicate: Callable[[ast.stmt], bool]
+    ) -> set[int]:
+        return {n for n, stmt in self.stmts.items() if predicate(stmt)}
+
+    def _reach(
+        self, roots: set[int], edges: dict[int, set[int]], blocked: set[int]
+    ) -> set[int]:
+        seen = set(roots) - blocked
+        frontier = list(seen)
+        while frontier:
+            cur = frontier.pop()
+            for nxt in edges.get(cur, ()):
+                if nxt not in seen and nxt not in blocked:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return seen
+
+    def forward_avoiding(self, blocked: set[int]) -> set[int]:
+        """Nodes reachable from ENTRY along paths avoiding ``blocked``."""
+        return self._reach({ENTRY}, self.succ, blocked)
+
+    def backward_from_return_avoiding(self, blocked: set[int]) -> set[int]:
+        """Nodes from which RETURN_EXIT is reachable avoiding ``blocked``."""
+        return self._reach({RETURN_EXIT}, self.pred, blocked)
+
+
+try:  # ``except*`` handlers exist from 3.11 on
+    _TRY_TYPES: tuple[type, ...] = (ast.Try, ast.TryStar)  # type: ignore[attr-defined]
+except AttributeError:  # pragma: no cover - py3.10
+    _TRY_TYPES = (ast.Try,)
+
+
+class _LoopCtx:
+    """Break/continue targets for the innermost enclosing loop."""
+
+    def __init__(self, header: int) -> None:
+        self.header = header
+        self.breaks: list[int] = []
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self.loops: list[_LoopCtx] = []
+
+    # The frontier is the set of nodes whose control falls through to the
+    # next statement; an empty frontier means the remaining statements in
+    # this block are unreachable.
+    def build(self, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+        frontier = self._body(fn.body, {ENTRY})
+        for node in frontier:
+            self.cfg.add_edge(node, RETURN_EXIT)  # falling off the end
+        return self.cfg
+
+    def _link(self, preds: set[int], node: int) -> None:
+        for p in preds:
+            self.cfg.add_edge(p, node)
+
+    def _body(self, stmts: list[ast.stmt], preds: set[int]) -> set[int]:
+        frontier = set(preds)
+        for stmt in stmts:
+            if not frontier:
+                break  # unreachable code
+            frontier = self._stmt(stmt, frontier)
+        return frontier
+
+    def _stmt(self, stmt: ast.stmt, preds: set[int]) -> set[int]:
+        cfg = self.cfg
+        if isinstance(stmt, ast.Return):
+            node = cfg.add_node(stmt)
+            self._link(preds, node)
+            cfg.add_edge(node, RETURN_EXIT)
+            return set()
+        if isinstance(stmt, ast.Raise):
+            node = cfg.add_node(stmt)
+            self._link(preds, node)
+            cfg.add_edge(node, RAISE_EXIT)
+            return set()
+        if isinstance(stmt, ast.If):
+            node = cfg.add_node(stmt)
+            self._link(preds, node)
+            then_out = self._body(stmt.body, {node})
+            else_out = self._body(stmt.orelse, {node}) if stmt.orelse else {node}
+            return then_out | else_out
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            header = cfg.add_node(stmt)
+            self._link(preds, header)
+            ctx = _LoopCtx(header)
+            self.loops.append(ctx)
+            body_out = self._body(stmt.body, {header})
+            self.loops.pop()
+            for node in body_out:
+                cfg.add_edge(node, header)  # back edge
+            # Normal loop exit (condition false / iterator exhausted) runs
+            # the else clause; breaks skip it.
+            else_out = (
+                self._body(stmt.orelse, {header}) if stmt.orelse else {header}
+            )
+            return else_out | set(ctx.breaks)
+        if isinstance(stmt, ast.Break):
+            node = cfg.add_node(stmt)
+            self._link(preds, node)
+            if self.loops:
+                self.loops[-1].breaks.append(node)
+            return set()
+        if isinstance(stmt, ast.Continue):
+            node = cfg.add_node(stmt)
+            self._link(preds, node)
+            if self.loops:
+                cfg.add_edge(node, self.loops[-1].header)
+            return set()
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            node = cfg.add_node(stmt)  # the context-manager entry
+            self._link(preds, node)
+            return self._body(stmt.body, {node})
+        if isinstance(stmt, _TRY_TYPES):
+            return self._try(stmt, preds)
+        if isinstance(stmt, ast.Match):
+            node = cfg.add_node(stmt)
+            self._link(preds, node)
+            out: set[int] = set()
+            exhaustive = False
+            for case in stmt.cases:
+                out |= self._body(case.body, {node})
+                if (
+                    isinstance(case.pattern, ast.MatchAs)
+                    and case.pattern.pattern is None
+                    and case.guard is None
+                ):
+                    exhaustive = True  # a bare `case _:` catches everything
+            if not exhaustive:
+                out.add(node)
+            return out
+        if isinstance(stmt, ast.Assert):
+            node = cfg.add_node(stmt)
+            self._link(preds, node)
+            cfg.add_edge(node, RAISE_EXIT)
+            return {node}
+        # Simple statements — and nested defs, which are opaque here.
+        node = cfg.add_node(stmt)
+        self._link(preds, node)
+        return {node}
+
+    def _try(self, stmt: ast.Try, preds: set[int]) -> set[int]:
+        cfg = self.cfg
+        before = len(cfg.stmts)
+        try_out = self._body(stmt.body, preds)
+        try_nodes = set(range(before, len(cfg.stmts)))
+        handler_outs: set[int] = set()
+        handler_entries: list[int] = []
+        for handler in stmt.handlers:
+            entry = cfg.add_node(handler)  # the `except X:` header
+            handler_entries.append(entry)
+            handler_outs |= self._body(handler.body, {entry})
+        # Any statement in the try body may raise into any handler; a try
+        # with no handlers (try/finally) raises through to RAISE_EXIT once
+        # the finally body has run — approximated below.
+        for node in try_nodes:
+            for entry in handler_entries:
+                cfg.add_edge(node, entry)
+        else_out = (
+            self._body(stmt.orelse, try_out) if stmt.orelse else try_out
+        )
+        merged = else_out | handler_outs
+        if stmt.finalbody:
+            merged = self._body(stmt.finalbody, merged or set(preds))
+        return merged
+
+
+def build_cfg(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the control-flow graph of one function body."""
+    return _Builder().build(fn)
+
+
+def unguarded_path_nodes(
+    cfg: CFG, targets: set[int], guards: set[int]
+) -> set[int]:
+    """Target nodes lying on an ENTRY→RETURN path with no guard node.
+
+    The SAN012 query: a mutation (target) is unsound iff some execution
+    reaches it without passing a guard (epoch bump) *and* then returns
+    without passing one either. Paths ending at RAISE_EXIT are exempt —
+    a raising mutator aborts before the caller can observe the state.
+    """
+    reach_in = cfg.forward_avoiding(guards)
+    reach_out = cfg.backward_from_return_avoiding(guards)
+    return {t for t in targets if t in reach_in and t in reach_out}
+
+
+def all_paths_hit(cfg: CFG, guards: set[int]) -> bool:
+    """Does every ENTRY→RETURN path pass through a guard node?
+
+    Used for the per-class fixpoint: a method whose every returning path
+    bumps the epoch may itself serve as a bump when called by a sibling
+    mutator. Vacuously true when no path returns at all.
+    """
+    return RETURN_EXIT not in cfg.forward_avoiding(guards)
+
+
+def iter_functions(
+    tree: ast.AST,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Every function definition in the tree, including nested ones."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

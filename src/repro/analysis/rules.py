@@ -9,11 +9,14 @@ for the full rationale of every rule.
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.analysis.diagnostics import Diagnostic
 from repro.analysis.engine import ModuleInfo
-from repro.analysis.registry import Rule, register
+from repro.analysis.registry import ProjectRule, Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.project import Project
 
 __all__ = [
     "NoWallClock",
@@ -27,6 +30,9 @@ __all__ = [
     "ServiceEvaluatesViaCache",
     "SeededChaosSchedules",
     "NoAdHocServiceWrappers",
+    "EpochSoundMutators",
+    "SeededRngTaint",
+    "ProbeLayerPurity",
 ]
 
 #: Switch radix of the paper's Myrinet fabric; port indices live in [0, 8).
@@ -673,4 +679,118 @@ class NoAdHocServiceWrappers(Rule):
                         stmt,
                         f"`{node.name}.{stmt.name}` re-implements a canonical "
                         "probe entry point outside the service stack",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# sanflow project rules: whole-program, flow-sensitive (SAN012-SAN014).
+# These never parse source themselves — they query the Project built from
+# cached module summaries; see docs/SANFLOW.md for the architecture.
+# ---------------------------------------------------------------------------
+
+
+@register
+class EpochSoundMutators(ProjectRule):
+    rule_id = "SAN012"
+    title = "state mutations in epoch-versioned classes bump the epoch on every path"
+    rationale = (
+        "The prefix-trie evaluator caches whole probe walks keyed on "
+        "`topology_epoch`/`fault_epoch`. A mutator with even one "
+        "return path that skips the bump lets a cached walk survive a "
+        "topology or fault change — the mapper then reasons about a "
+        "network that no longer exists, which is precisely the "
+        "inconsistent-observation failure the paper's incremental "
+        "remapping argument (Section 3) rules out. Raise paths are "
+        "exempt: a failed mutator aborts before state and epoch diverge."
+    )
+    hint = (
+        "bump the epoch (`self._bump_epoch()`) on every path that "
+        "returns after the mutation, or route the change through an "
+        "existing epoch-bumping mutator"
+    )
+
+    def check_project(self, project: "Project") -> Iterator[Diagnostic]:
+        for summary, cls in project.iter_classes():
+            props = project.epoch_properties_of(summary["module"], cls["name"])
+            if not props:
+                continue
+            prop = props[0]
+            for name, method in cls["methods"].items():
+                for fact in method["unbumped_mutations"]:
+                    yield self.project_diag(
+                        summary["path"],
+                        fact["line"],
+                        fact["col"],
+                        f"`{cls['name']}.{name}` {fact['desc']} on a path "
+                        f"that returns without bumping `{prop}`",
+                    )
+
+
+@register
+class SeededRngTaint(ProjectRule):
+    rule_id = "SAN013"
+    title = "every RNG constructor seed traces to an explicit seed source"
+    rationale = (
+        "SAN002 catches the bare `random.random()` module calls; this "
+        "rule proves the stronger property the chaos determinism oracle "
+        "replays on: every `random.Random(...)` argument, followed "
+        "through the call graph, derives from an explicit `seed=` "
+        "parameter, a Scenario field, or a split of one — never from "
+        "wall-clock time, `id()`, or an unseeded default. Without it a "
+        "single forgotten argument silently breaks byte-for-byte replay "
+        "of whole campaigns."
+    )
+    hint = (
+        "thread an explicit seed (a `seed=` parameter, Scenario field, "
+        "or `derive_seed(...)` split) into this constructor"
+    )
+
+    def check_project(self, project: "Project") -> Iterator[Diagnostic]:
+        for summary, site in project.iter_rng_sites():
+            verdict = project.evaluate_taint(site["term"])
+            if verdict.ok:
+                continue
+            ctor = site["ctor"].rsplit(".", 1)[-1]
+            yield self.project_diag(
+                summary["path"],
+                site["line"],
+                site["col"],
+                f"`{ctor}(...)` seed does not trace to an explicit seed "
+                f"source: {verdict.why}",
+            )
+
+
+@register
+class ProbeLayerPurity(ProjectRule):
+    rule_id = "SAN014"
+    title = "ProbeLayer hooks leave Network/FaultModel state alone"
+    rationale = (
+        "The middleware stack's equivalence proofs (stacked service ≡ "
+        "bare service + accounting) assume layers observe probes but "
+        "never perturb the substrate. A hook that writes Network or "
+        "FaultModel state directly — bypassing the epoch-bumping "
+        "mutators — invalidates both the proofs and every cached walk, "
+        "without any epoch trace of the change. Chaos layers *may* "
+        "inject faults, but only through the public mutators, which "
+        "this rule still permits."
+    )
+    hint = (
+        "call a public epoch-bumping mutator (`set_drop_prob`, "
+        "`set_dead_wires`, `connect`, ...) instead of touching simulator "
+        "state from a layer hook"
+    )
+
+    def check_project(self, project: "Project") -> Iterator[Diagnostic]:
+        for summary, cls in project.iter_classes():
+            if not project.is_probe_layer(summary["module"], cls["name"]):
+                continue
+            for name, method in cls["methods"].items():
+                for fact in method["impurities"]:
+                    yield self.project_diag(
+                        summary["path"],
+                        fact["line"],
+                        fact["col"],
+                        f"ProbeLayer hook `{cls['name']}.{name}` "
+                        f"{fact['desc']} — simulator state must change "
+                        "only through epoch-bumping mutators",
                     )

@@ -1,0 +1,96 @@
+"""SARIF 2.1.0 output for sanlint, for GitHub code-scanning upload.
+
+One run, one tool (``sanlint``), one result per diagnostic. Rule
+metadata (title, rationale, default hint) rides along in the driver's
+rule descriptors so the code-scanning UI can show the *why* next to each
+alert. Paths are emitted repo-relative with POSIX separators when they
+live under the current working directory, as the upload action expects.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import all_rule_ids, get_rule
+
+__all__ = ["to_sarif", "render_sarif"]
+
+_SARIF_VERSION = "2.1.0"
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _relative_uri(path: str) -> str:
+    p = Path(path)
+    try:
+        p = p.resolve().relative_to(Path.cwd().resolve())
+    except ValueError:
+        pass  # outside the repo: keep as given
+    return p.as_posix()
+
+
+def _rule_descriptor(rule_id: str) -> dict[str, Any]:
+    rule = get_rule(rule_id)
+    return {
+        "id": rule_id,
+        "name": rule.__name__,
+        "shortDescription": {"text": rule.title},
+        "fullDescription": {"text": rule.rationale},
+        "help": {"text": rule.hint},
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def to_sarif(diagnostics: Sequence[Diagnostic]) -> dict[str, Any]:
+    """The SARIF log as a plain dict (``render_sarif`` serializes it)."""
+    results = []
+    for d in diagnostics:
+        message = d.message if d.hint is None else f"{d.message} (hint: {d.hint})"
+        results.append(
+            {
+                "ruleId": d.rule_id,
+                "level": "error",
+                "message": {"text": message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": _relative_uri(d.path),
+                                "uriBaseId": "%SRCROOT%",
+                            },
+                            "region": {
+                                "startLine": max(d.line, 1),
+                                "startColumn": d.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    # SAN000 parse failures have no registered rule class; list only real
+    # rules in the driver and let their results reference the id bare.
+    descriptors = [_rule_descriptor(rid) for rid in all_rule_ids()]
+    return {
+        "$schema": _SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "sanlint",
+                        "rules": descriptors,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(diagnostics: Sequence[Diagnostic]) -> str:
+    return json.dumps(to_sarif(diagnostics), indent=2, sort_keys=True)

@@ -60,6 +60,10 @@ class FaultModel:
         """
         return self._epoch
 
+    def _bump_epoch(self) -> None:
+        """The canonical epoch bump: every mutator's last act (SAN012)."""
+        self._epoch += 1
+
     def set_dead_wires(self, dead_wires: Iterable[frozenset]) -> None:
         """Replace the dead-wire set mid-run (models a cable failing).
 
@@ -72,21 +76,21 @@ class FaultModel:
             if not pair:
                 raise ValueError("a dead wire needs at least one wire end")
         self.dead_wires = new
-        self._epoch += 1
+        self._bump_epoch()
 
     def set_drop_prob(self, drop_prob: float) -> None:
         """Change the silent-loss probability mid-run (epoch-bumping)."""
         if not 0.0 <= drop_prob <= 1.0:
             raise ValueError("probabilities must be in [0, 1]")
         self.drop_prob = drop_prob
-        self._epoch += 1
+        self._bump_epoch()
 
     def set_corrupt_prob(self, corrupt_prob: float) -> None:
         """Change the corruption probability mid-run (epoch-bumping)."""
         if not 0.0 <= corrupt_prob <= 1.0:
             raise ValueError("probabilities must be in [0, 1]")
         self.corrupt_prob = corrupt_prob
-        self._epoch += 1
+        self._bump_epoch()
 
     def kills_probe(self, path: PathResult) -> bool:
         """Decide whether this (otherwise successful) probe is lost."""

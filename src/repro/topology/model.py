@@ -132,6 +132,10 @@ class Network:
         self._next_wire_key = 0
         self._epoch = 0
 
+    def _bump_epoch(self) -> None:
+        """The canonical epoch bump: every mutator's last act (SAN012)."""
+        self._epoch += 1
+
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
@@ -139,7 +143,7 @@ class Network:
         """Add a host node. Hosts have the single port 0."""
         self._check_fresh(name)
         self._nodes[name] = _NodeInfo(NodeKind.HOST, 1, dict(meta))
-        self._epoch += 1
+        self._bump_epoch()
         return name
 
     def add_switch(self, name: str, *, radix: int | None = None, **meta: object) -> str:
@@ -149,7 +153,7 @@ class Network:
         if r < 1:
             raise TopologyError("switch radix must be positive")
         self._nodes[name] = _NodeInfo(NodeKind.SWITCH, r, dict(meta))
-        self._epoch += 1
+        self._bump_epoch()
         return name
 
     def connect(
@@ -172,7 +176,7 @@ class Network:
         self._wires[wire.key] = wire
         self._port_map[ra] = wire.key
         self._port_map[rb] = wire.key
-        self._epoch += 1
+        self._bump_epoch()
         return wire
 
     def disconnect(self, wire: Wire) -> None:
@@ -182,7 +186,7 @@ class Network:
             raise TopologyError(f"wire {wire} not in network")
         del self._port_map[stored.a]
         del self._port_map[stored.b]
-        self._epoch += 1
+        self._bump_epoch()
 
     def remove_node(self, name: str) -> None:
         """Remove a node and every wire incident on it."""
@@ -192,7 +196,7 @@ class Network:
         for wire in list(self.wires_of(name)):
             self.disconnect(wire)
         del self._nodes[name]
-        self._epoch += 1
+        self._bump_epoch()
 
     # ------------------------------------------------------------------
     # queries

@@ -89,6 +89,32 @@ BAD_SNIPPETS = {
             def probe_host(self, turns):
                 return self._inner.probe_host(turns)
     """,
+    "SAN012": """
+        class WireRegistry:
+            def __init__(self):
+                self._entries = {}
+                self._epoch = 0
+
+            @property
+            def registry_epoch(self):
+                return self._epoch
+
+            def put(self, key, value):
+                self._entries[key] = value
+    """,
+    "SAN013": """
+        import random
+
+        def make_rng():
+            return random.Random()
+    """,
+    "SAN014": """
+        from repro.simulator.stack import ProbeLayer
+
+        class MeddlingLayer(ProbeLayer):
+            def after(self, ctx):
+                ctx.service.faults.drop_prob = 0.5
+    """,
 }
 
 
@@ -111,10 +137,13 @@ def test_every_diag_carries_the_rules_hint(rule_id):
     assert "hint:" not in diag.render(show_hint=False)
 
 
-def test_registry_has_the_eleven_domain_rules():
+def test_registry_has_the_fourteen_domain_rules():
     assert all_rule_ids() == [f"SAN00{i}" for i in range(1, 10)] + [
         "SAN010",
         "SAN011",
+        "SAN012",
+        "SAN013",
+        "SAN014",
     ]
 
 
