@@ -8,7 +8,11 @@ one command:
 - ``micro``   — substrate hot paths (route evaluation, probe pairs, the
   full subcluster-C mapping run with the evaluation cache on and off);
 - ``mapping`` — figure-level workloads (Figure 4 subcluster map, Figure 5
-  full-NOW map, the routing pipeline).
+  full-NOW map, the routing pipeline);
+- ``scale``   — datacenter-tier three-tier fat trees (80 / 320 / 1125
+  switches), each mapped end-to-end and verified. The k=8 tier is the CI
+  smoke gate; the larger tiers are ``--quick``-skipped and the 1125-switch
+  tier records a single sample.
 
 Each benchmark repeats ``--repeats`` times and records the **median**
 wall-clock time per operation plus any extra counters (probe totals,
@@ -226,8 +230,65 @@ MAPPING_SUITE: dict[str, Bench] = {
     "routing_pipeline_full_now": _routing_pipeline,
 }
 
+
+# ---------------------------------------------------------------------------
+# scale suite: datacenter-tier fat trees
+# ---------------------------------------------------------------------------
+
+def _scale_map(k: int, hosts_per_edge: int | None = None) -> tuple[float, dict]:
+    """Map a three-tier fat tree end-to-end and verify the result.
+
+    Times service construction + mapping + isomorphism check — the whole
+    "point a mapper at an unknown fabric" operation — so the scale curve
+    reflects what a user of the tier would actually wait for.
+    """
+    from repro.core.mapper import BerkeleyMapper
+    from repro.simulator.stack import build_service_stack
+    from repro.topology.generators import (
+        build_three_tier_fat_tree,
+        three_tier_counts,
+    )
+    from repro.topology.isomorphism import match_networks
+
+    net = build_three_tier_fat_tree(k, hosts_per_edge=hosts_per_edge)
+    start = time.perf_counter()
+    svc = build_service_stack(net, net.hosts[0])
+    result = BerkeleyMapper(
+        svc, radix=k, search_depth=6, host_first=False
+    ).run()
+    report = match_networks(result.network, net)
+    elapsed = time.perf_counter() - start
+    assert report.isomorphic, report.reason
+    n_switches, n_hosts = three_tier_counts(k, hosts_per_edge)
+    assert result.network.n_switches == n_switches
+    return elapsed, {
+        "switches": n_switches,
+        "hosts": n_hosts,
+        "probes": result.stats.total_probes,
+        "explorations": result.explorations,
+        "merges": result.merges,
+    }
+
+
+SCALE_SUITE: dict[str, Bench] = {
+    # 80 switches / 128 hosts (~10^2 ports): the CI smoke tier.
+    "fat_tree_map_3tier_k8": lambda: _scale_map(8),
+    # 320 switches / 1024 hosts (~10^3 ports).
+    "fat_tree_map_3tier_k16": lambda: _scale_map(16),
+    # 1125 switches / 900 hosts: the 1000+-switch acceptance tier.
+    "fat_tree_map_3tier_k30": lambda: _scale_map(30, 2),
+}
+
 #: Benchmarks skipped by --quick (the CI smoke job): too slow for a gate.
-SLOW_BENCHES = frozenset({"fig5_map_full_now"})
+SLOW_BENCHES = frozenset({
+    "fig5_map_full_now",
+    "fat_tree_map_3tier_k16",
+    "fat_tree_map_3tier_k30",
+})
+
+#: Benchmarks so heavy they record a single sample with no warm-up run.
+#: The baseline stores the honest one-shot number ("repeats": 1).
+ONE_SHOT_BENCHES = frozenset({"fat_tree_map_3tier_k30"})
 
 
 # ---------------------------------------------------------------------------
@@ -242,21 +303,23 @@ def run_suite(
         if quick and name in SLOW_BENCHES:
             print(f"  {name}: skipped (--quick)")
             continue
-        # One untimed warm-up run per bench: the first call in a process
-        # pays one-time import and cache-construction costs that would
-        # otherwise dominate the median at low repeat counts (--quick
-        # runs only 2 samples).
-        bench()
+        n = 1 if name in ONE_SHOT_BENCHES else repeats
+        if name not in ONE_SHOT_BENCHES:
+            # One untimed warm-up run per bench: the first call in a process
+            # pays one-time import and cache-construction costs that would
+            # otherwise dominate the median at low repeat counts (--quick
+            # runs only 2 samples).
+            bench()
         samples: list[float] = []
         extra: dict = {}
-        for _ in range(repeats):
+        for _ in range(n):
             seconds, extra = bench()
             samples.append(seconds)
         median_us = statistics.median(samples) * 1e6
         results[name] = {
             "median_us": round(median_us, 2),
             "min_us": round(min(samples) * 1e6, 2),
-            "repeats": repeats,
+            "repeats": n,
             **({"extra": extra} if extra else {}),
         }
         print(f"  {name}: median {median_us / 1000:.2f} ms"
@@ -291,7 +354,8 @@ def find_regressions(
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--suite", choices=["micro", "mapping", "all"],
+    parser.add_argument("--suite",
+                        choices=["micro", "mapping", "scale", "all"],
                         default="micro")
     parser.add_argument("--repeats", type=int, default=5,
                         help="samples per benchmark (median is recorded)")
@@ -323,10 +387,14 @@ def main(argv: list[str] | None = None) -> int:
         docs = {"input": json.loads(args.input.read_text())}
     else:
         repeats = max(1, args.repeats // 2) if args.quick else args.repeats
+        all_suites = {
+            "micro": MICRO_SUITE,
+            "mapping": MAPPING_SUITE,
+            "scale": SCALE_SUITE,
+        }
         suites = (
-            {"micro": MICRO_SUITE, "mapping": MAPPING_SUITE}
-            if args.suite == "all"
-            else {args.suite: MICRO_SUITE if args.suite == "micro" else MAPPING_SUITE}
+            all_suites if args.suite == "all"
+            else {args.suite: all_suites[args.suite]}
         )
         docs = {}
         for suite_name, suite in suites.items():

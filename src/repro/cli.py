@@ -86,8 +86,15 @@ def _cmd_map(args: argparse.Namespace) -> int:
     if args.algorithm == "berkeley":
         from repro.core.mapper import BerkeleyMapper
 
+        profiler = None
+        if args.profile:
+            from repro.core.instrumentation import PhaseProfiler
+
+            profiler = PhaseProfiler()
         svc = build_service_stack(net, mapper_host)
-        result = BerkeleyMapper(svc, search_depth=depth, host_first=False).run()
+        result = BerkeleyMapper(
+            svc, search_depth=depth, host_first=False, profiler=profiler
+        ).run()
         produced, stats = result.network, result.stats
     elif args.algorithm == "myricom":
         from repro.baselines.myricom import MyricomMapper
@@ -112,6 +119,12 @@ def _cmd_map(args: argparse.Namespace) -> int:
         from repro.core.instrumentation import cache_summary
 
         print(cache_summary(getattr(svc, "eval_cache_stats", None)))
+    if args.profile:
+        profile = getattr(result, "profile", None)
+        if profile is None:
+            print("profile: only the berkeley algorithm records phases")
+        else:
+            print(profile.render())
     report = match_networks(produced, core_network(net))
     print(f"verified against actual core: "
           f"{'isomorphic' if report else f'MISMATCH ({report.reason})'}")
@@ -312,6 +325,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--depth", type=int, default=None)
     p.add_argument("--out", default=None)
     p.add_argument("--render", action="store_true")
+    p.add_argument("--profile", action="store_true",
+                   help="per-phase wall-clock table (berkeley only)")
     p.add_argument("--stats", action="store_true",
                    help="print probe-evaluation cache counters")
     p.add_argument("--stack", action="store_true",

@@ -19,11 +19,14 @@ surface prints the same line.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.simulator.path_eval import EvalCacheStats
 from repro.simulator.probes import ProbeKind, ProbeStats
 
 __all__ = [
+    "PhaseProfile",
+    "PhaseProfiler",
     "TraceAnalysis",
     "TraceRecorder",
     "analyze_records",
@@ -31,6 +34,80 @@ __all__ = [
     "cache_summary",
     "chaos_summary",
 ]
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseProfile:
+    """Snapshot of per-phase wall-clock accounting for one mapping run.
+
+    ``phases`` maps a phase name to ``(calls, wall_seconds)``. Phases nest:
+    ``probe`` time is part of ``explore`` time and ``merge`` time is part of
+    ``deduce`` time, so the rows are a decomposition for reading, not a
+    partition for summing — ``total_s`` adds only the top-level phases.
+    """
+
+    phases: dict[str, tuple[int, float]]
+
+    #: Phases whose wall-clock is already contained in another phase's row.
+    NESTED = {"probe": "explore", "merge": "deduce"}
+
+    @property
+    def total_s(self) -> float:
+        return sum(
+            wall for name, (_, wall) in self.phases.items()
+            if name not in self.NESTED
+        )
+
+    def wall_ms(self, phase: str) -> float:
+        return self.phases.get(phase, (0, 0.0))[1] * 1000.0
+
+    def calls(self, phase: str) -> int:
+        return self.phases.get(phase, (0, 0.0))[0]
+
+    def render(self) -> str:
+        """Plain-text table for ``san-map map --profile``."""
+        lines = ["phase      calls    wall ms"]
+        for name, (calls, wall) in self.phases.items():
+            nested = "  (in %s)" % self.NESTED[name] if name in self.NESTED else ""
+            lines.append(f"{name:<9} {calls:6d}  {wall * 1000:9.2f}{nested}")
+        lines.append(f"{'total':<9} {'':6}  {self.total_s * 1000:9.2f}")
+        return "\n".join(lines)
+
+
+class PhaseProfiler:
+    """Opt-in per-phase wall-clock accumulator for the mapper.
+
+    The mapper's phases (explore / probe / deduce / merge / prune / build)
+    call :meth:`add` with durations measured against ``clock``. The clock
+    is *injected*: ``repro.core`` never reads the wall clock on its own
+    (SAN001) — profiling is observational, off by default, and feeds
+    nothing back into mapping decisions, so results stay byte-identical
+    with and without a profiler attached. Tests inject deterministic fake
+    clocks; the default binds ``time.perf_counter`` for CLI/benchmark use.
+    """
+
+    __slots__ = ("clock", "_acc")
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        if clock is None:
+            import time
+
+            # Bound once, called only from opted-in profiling sites.
+            clock = time.perf_counter
+        self.clock = clock
+        self._acc: dict[str, list] = {}
+
+    def add(self, phase: str, seconds: float, calls: int = 1) -> None:
+        slot = self._acc.get(phase)
+        if slot is None:
+            self._acc[phase] = slot = [0, 0.0]
+        slot[0] += calls
+        slot[1] += seconds
+
+    def snapshot(self) -> PhaseProfile:
+        return PhaseProfile(
+            phases={name: (c, w) for name, (c, w) in self._acc.items()}
+        )
 
 
 def cache_summary(stats: EvalCacheStats | None) -> str:

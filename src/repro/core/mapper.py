@@ -31,11 +31,15 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.planner import ProbePlanner
 from repro.simulator.probes import ProbeService, ProbeStats
 from repro.simulator.turns import Turns
 from repro.topology.model import Network
+
+if TYPE_CHECKING:
+    from repro.core.instrumentation import PhaseProfile, PhaseProfiler
 
 __all__ = ["BerkeleyMapper", "GrowthSample", "MapResult", "MappingError"]
 
@@ -65,6 +69,7 @@ class MergedVertex:
         "alias",
         "explored",
         "dead",
+        "multi",
     )
 
     def __init__(
@@ -82,6 +87,12 @@ class MergedVertex:
         self.alias: "MergedVertex | None" = None
         self.explored = False
         self.dead = False
+        # Number of indices in ``nbrs`` currently holding more than one
+        # wire-end. Maintained at every set mutation so the deduction drain
+        # can skip vertices with nothing to deduce in O(1) instead of
+        # rescanning the whole adjacency (mergelist entries are mostly
+        # sterile: a vertex is re-queued on every touch).
+        self.multi = 0
 
     @property
     def depth(self) -> int:
@@ -119,6 +130,7 @@ class MapResult:
     peak_model_nodes: int
     growth: list[GrowthSample] = field(default_factory=list)
     switch_names: dict[int, str] = field(default_factory=dict)
+    profile: "PhaseProfile | None" = None
 
     @property
     def elapsed_ms(self) -> float:
@@ -144,6 +156,16 @@ class BerkeleyMapper:
         identifies the node).
     record_growth:
         Keep the per-exploration model-size trace (Figure 8).
+    batch:
+        Submit each run of sibling probes (same prefix, consecutive planned
+        turns) to the service as a pre-evaluation batch when the service
+        supports it (``warm_siblings``). Probe order, count, RNG draws and
+        stats are byte-identical either way; batching only lets a caching
+        evaluator walk the shared prefix once per run instead of per probe.
+    profiler:
+        Optional :class:`~repro.core.instrumentation.PhaseProfiler`; when
+        given, per-phase wall-clock is accumulated and snapshotted into
+        ``MapResult.profile``. Purely observational.
     """
 
     def __init__(
@@ -156,6 +178,8 @@ class BerkeleyMapper:
         record_growth: bool = False,
         radix: int = 8,
         max_explorations: int | None = None,
+        batch: bool = True,
+        profiler: "PhaseProfiler | None" = None,
     ) -> None:
         """``max_explorations`` bounds the number of switch explorations.
 
@@ -176,9 +200,16 @@ class BerkeleyMapper:
         self._record_growth = record_growth
         self._radix = radix
         self._max_explorations = max_explorations
+        self._batch = batch
+        self._prof = profiler
 
         self._ids = itertools.count()
         self._vertices: list[MergedVertex] = []
+        # Live (undead, unaliased) vertices by vid, maintained incrementally
+        # at creation/merge/delete so nothing ever rescans ``_vertices``.
+        # dict preserves insertion order, so iteration matches the old
+        # creation-order scan exactly.
+        self._live: dict[int, MergedVertex] = {}
         self._hosts: dict[str, MergedVertex] = {}
         self._frontier: deque[MergedVertex] = deque()
         self._mergelist: deque[MergedVertex] = deque()
@@ -192,12 +223,19 @@ class BerkeleyMapper:
     # ------------------------------------------------------------------
     def run(self) -> MapResult:
         """Map the network and return the result."""
+        prof = self._prof
         self._initialize()
         self._seed_phase()
         self._main_loop()
+        t0 = prof.clock() if prof is not None else 0.0
         self._prune()
+        if prof is not None:
+            prof.add("prune", prof.clock() - t0)
         self._snapshot(final=True)
+        t0 = prof.clock() if prof is not None else 0.0
         network, names = self._build_network()
+        if prof is not None:
+            prof.add("build", prof.clock() - t0)
         return MapResult(
             network=network,
             stats=self._svc.stats.snapshot(),
@@ -208,6 +246,7 @@ class BerkeleyMapper:
             peak_model_nodes=self._peak_nodes,
             growth=self._growth,
             switch_names=names,
+            profile=prof.snapshot() if prof is not None else None,
         )
 
     def _seed_phase(self) -> None:
@@ -216,6 +255,7 @@ class BerkeleyMapper:
         nothing here."""
 
     def _main_loop(self) -> None:
+        prof = self._prof
         while self._frontier:
             if (
                 self._max_explorations is not None
@@ -227,10 +267,20 @@ class BerkeleyMapper:
                 continue
             if v.depth >= self._depth:
                 continue
-            self._explore(v)
-            v.explored = True
-            self._explorations += 1
-            self._drain_mergelist()
+            if prof is None:
+                self._explore(v)
+                v.explored = True
+                self._explorations += 1
+                self._drain_mergelist()
+            else:
+                t0 = prof.clock()
+                self._explore(v)
+                prof.add("explore", prof.clock() - t0)
+                v.explored = True
+                self._explorations += 1
+                t0 = prof.clock()
+                self._drain_mergelist()
+                prof.add("deduce", prof.clock() - t0)
             self._snapshot()
 
     # ------------------------------------------------------------------
@@ -248,16 +298,28 @@ class BerkeleyMapper:
 
     def _explore(self, v: MergedVertex) -> None:
         plan = self._planner.new_plan()
-        # Every probe below extends v's probe string by one turn; tell a
-        # caching service so the shared prefix is walked once, not per probe.
-        warm = getattr(self._svc, "warm_prefix", None)
-        if warm is not None:
-            warm(v.probe_string)
+        prime = getattr(self._svc, "warm_siblings", None) if self._batch else None
+        if prime is None:
+            # Every probe below extends v's probe string by one turn; tell a
+            # caching service so the shared prefix is walked once, not per
+            # probe.
+            warm = getattr(self._svc, "warm_prefix", None)
+            if warm is not None:
+                warm(v.probe_string)
         # Knowledge inherited from merged replicates: every known index is a
         # confirmed wire (narrowing the entry-port window), and re-probing it
         # cannot teach anything — an actual port has exactly one cable.
         for idx in v.nbrs:
             plan.feed(idx, True)
+        if prime is not None:
+            # Submit the whole sibling group in one batch: every probe below
+            # is v.probe_string extended by one planned turn, so one descent
+            # of the shared prefix serves them all (each probe then costs a
+            # single child step). Probes still go through the service one at
+            # a time — order, count, RNG draws and stats are byte-identical
+            # to the unbatched path; turns a hit later prunes from the plan
+            # were announced but never evaluated, and cost nothing.
+            prime(v.probe_string, plan.peek_pending())
         while (turn := plan.next_turn()) is not None:
             if v.nbrs.get(turn):
                 continue
@@ -281,14 +343,21 @@ class BerkeleyMapper:
 
     def _probe_pair(self, turns: Turns) -> str | None:
         """The probe of Section 2.3: R(turns) via the configured order."""
+        prof = self._prof
+        t0 = prof.clock() if prof is not None else 0.0
         if self._host_first:
-            host = self._svc.probe_host(turns)
-            if host is not None:
-                return host
-            return _KIND_SWITCH if self._svc.probe_switch(turns) else None
-        if self._svc.probe_switch(turns):
-            return _KIND_SWITCH
-        return self._svc.probe_host(turns)
+            response = self._svc.probe_host(turns)
+            if response is None:
+                response = (
+                    _KIND_SWITCH if self._svc.probe_switch(turns) else None
+                )
+        elif self._svc.probe_switch(turns):
+            response = _KIND_SWITCH
+        else:
+            response = self._svc.probe_host(turns)
+        if prof is not None:
+            prof.add("probe", prof.clock() - t0)
+        return response
 
     # ------------------------------------------------------------------
     # the model graph
@@ -298,6 +367,7 @@ class BerkeleyMapper:
     ) -> MergedVertex:
         v = MergedVertex(next(self._ids), kind, probe_string, host_name)
         self._vertices.append(v)
+        self._live[v.vid] = v
         return v
 
     def _find(self, v: MergedVertex) -> MergedVertex:
@@ -310,12 +380,33 @@ class BerkeleyMapper:
 
     def _link(self, u: MergedVertex, ui: int, w: MergedVertex, wi: int) -> None:
         u, w = self._find(u), self._find(w)
-        u.nbrs.setdefault(ui, set()).add((w, wi))
-        w.nbrs.setdefault(wi, set()).add((u, ui))
-        if len(u.nbrs[ui]) > 1:
+        self._add_end(u, ui, w, wi)
+        self._add_end(w, wi, u, ui)
+
+    def _add_end(
+        self, u: MergedVertex, ui: int, w: MergedVertex, wi: int
+    ) -> None:
+        """Record wire-end ``(w, wi)`` at index ``ui`` of ``u``, keeping the
+        multi-end counter exact (the add may be a set-semantics no-op)."""
+        ends = u.nbrs.setdefault(ui, set())
+        before = len(ends)
+        ends.add((w, wi))
+        if len(ends) > 1:
+            if before == 1:
+                u.multi += 1
             self._mergelist.append(u)
-        if len(w.nbrs[wi]) > 1:
-            self._mergelist.append(w)
+
+    def _drop_end(self, w: MergedVertex, wi: int, end) -> None:
+        """Remove a wire-end back-reference, keeping ``multi`` exact."""
+        back = w.nbrs.get(wi)
+        if back is None:
+            return
+        before = len(back)
+        back.discard(end)
+        if before == 2 and len(back) == 1:
+            w.multi -= 1
+        if not back:
+            del w.nbrs[wi]
 
     def _register_host(self, child: MergedVertex) -> None:
         assert child.host_name is not None
@@ -359,9 +450,12 @@ class BerkeleyMapper:
         if absorb.explored and not keep.explored:
             keep, absorb, shift = absorb, keep, -shift
 
+        prof = self._prof
+        t0 = prof.clock() if prof is not None else 0.0
         # Detach absorb's adjacency, rewrite endpoint references, reattach.
         moved = list(absorb.nbrs.items())
         absorb.nbrs = {}
+        absorb.multi = 0
         for i, ends in moved:
             new_i = i + shift
             # Deterministic order: set iteration follows id()-based hashes,
@@ -375,37 +469,39 @@ class BerkeleyMapper:
                     wi = wi + shift
                 else:
                     # Remove the back-reference to absorb.
-                    back = w.nbrs.get(wi)
-                    if back is not None:
-                        back.discard((absorb, i))
-                        if not back:
-                            del w.nbrs[wi]
+                    self._drop_end(w, wi, (absorb, i))
                 if w is keep and wi == new_i:
                     # A wire from absorb to keep at what is now the same
                     # wire-end on both sides cannot exist physically.
                     raise MappingError(
                         "merge would create a wire from a port to itself"
                     )
-                keep.nbrs.setdefault(new_i, set()).add((w, wi))
-                w.nbrs.setdefault(wi, set()).add((keep, new_i))
-                if len(keep.nbrs[new_i]) > 1:
-                    self._mergelist.append(keep)
-                if len(w.nbrs[wi]) > 1:
-                    self._mergelist.append(w)
+                self._add_end(keep, new_i, w, wi)
+                self._add_end(w, wi, keep, new_i)
 
         absorb.alias = keep
         absorb.dead = True
+        self._live.pop(absorb.vid, None)
         keep.explored = keep.explored or absorb.explored
         if keep.kind == _KIND_HOST:
             self._hosts[keep.host_name] = keep  # type: ignore[index]
         self._merges += 1
         self._mergelist.append(keep)
+        if prof is not None:
+            prof.add("merge", prof.clock() - t0)
 
     def _drain_mergelist(self) -> None:
-        """Apply the deduction rule until stable (Section 3.3 item 2)."""
+        """Apply the deduction rule until stable (Section 3.3 item 2).
+
+        Vertices are queued on every adjacency touch, so most entries are
+        sterile; the ``multi`` counter makes popping those O(1) instead of
+        an O(radix) rescan. Productive entries scan in the same index order
+        as always — merge order is observable (it picks representatives and
+        port frames) and must not change.
+        """
         while self._mergelist:
             v = self._find(self._mergelist.popleft())
-            if v.dead:
+            if v.dead or not v.multi:
                 continue
             self._deduce_at(v)
 
@@ -415,7 +511,7 @@ class BerkeleyMapper:
         while progressed:
             progressed = False
             v = self._find(v)
-            if v.dead:
+            if v.dead or not v.multi:
                 return
             for i in list(v.nbrs):
                 ends = v.nbrs.get(i)
@@ -442,38 +538,52 @@ class BerkeleyMapper:
     # pruning and output
     # ------------------------------------------------------------------
     def _live_vertices(self) -> list[MergedVertex]:
-        return [v for v in self._vertices if not v.dead and v.alias is None]
+        # Maintained incrementally (creation / merge / delete); insertion
+        # order equals creation order, matching the old full-list scan.
+        return list(self._live.values())
 
     def _prune(self) -> None:
-        """Repeatedly delete degree-<=1 switches (the PRUNE stage).
+        """Delete degree-<=1 switches and everything that cascades (PRUNE).
 
         Removes F-region probe trees and unexplored frontier stubs; core
         switches always have degree >= 2 (a degree-1 switch cannot lie on
-        any non-edge-repeating path between hosts).
+        any non-edge-repeating path between hosts). One seed scan finds the
+        initial prunable set; each deletion enqueues neighbors whose degree
+        drops, so the whole stage is O(V + E) instead of a fixpoint of full
+        rescans. The surviving set is the same either way: pruning is
+        confluent (deletions only ever lower other degrees).
         """
-        changed = True
-        while changed:
-            changed = False
-            for v in self._live_vertices():
-                if v.kind != _KIND_SWITCH:
-                    continue
-                if v.degree() <= 1:
-                    self._delete(v)
-                    changed = True
+        pending = deque(
+            v
+            for v in self._live.values()
+            if v.kind == _KIND_SWITCH and v.degree() <= 1
+        )
+        while pending:
+            v = pending.popleft()
+            if v.dead or v.degree() > 1:
+                continue
+            self._delete(v, cascade=pending)
 
-    def _delete(self, v: MergedVertex) -> None:
+    def _delete(
+        self, v: MergedVertex, cascade: deque[MergedVertex] | None = None
+    ) -> None:
         for i, ends in list(v.nbrs.items()):
             for (w, wi) in ends:
                 w = self._find(w)
                 if w is v:
                     continue
-                back = w.nbrs.get(wi)
-                if back is not None:
-                    back.discard((v, i))
-                    if not back:
-                        del w.nbrs[wi]
+                self._drop_end(w, wi, (v, i))
+                if (
+                    cascade is not None
+                    and not w.dead
+                    and w.kind == _KIND_SWITCH
+                    and w.degree() <= 1
+                ):
+                    cascade.append(w)
         v.nbrs = {}
+        v.multi = 0
         v.dead = True
+        self._live.pop(v.vid, None)
 
     def _build_network(self) -> tuple[Network, dict[int, str]]:
         """Convert the merged model graph into a :class:`Network`.
@@ -539,11 +649,12 @@ class BerkeleyMapper:
     # instrumentation (Figure 8)
     # ------------------------------------------------------------------
     def _snapshot(self, final: bool = False) -> None:
-        live = self._live_vertices()
-        n_nodes = len(live)
-        self._peak_nodes = max(self._peak_nodes, n_nodes)
+        n_nodes = len(self._live)
+        if n_nodes > self._peak_nodes:
+            self._peak_nodes = n_nodes
         if not self._record_growth:
             return
+        live = self._live_vertices()
         n_edges = sum(v.degree() for v in live) // 2
         n_frontier = 0
         pending: set[int] = set()

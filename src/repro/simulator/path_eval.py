@@ -202,10 +202,10 @@ class _TrieNode:
         "failed_at",
         "nodes",
         "traversals",
+        "rev_traversals",
         "collision_memo",
         "loopback_traversals",
         "loopback_memo",
-        "chan_set",
         "fwd_blocked",
         "last_rev",
     )
@@ -229,6 +229,11 @@ class _TrieNode:
         self.failed_at = failed_at
         self.nodes = nodes
         self.traversals = traversals
+        # Retrace of ``traversals`` (each hop reversed, in backward order),
+        # built incrementally at extension time so the loopback tuple is a
+        # plain concat instead of m fresh Traversal constructions. Only
+        # in-flight nodes need it (failures never build loopbacks).
+        self.rev_traversals: tuple[Traversal, ...] = ()
         # Per-node memo of collision-model verdicts, keyed by the (frozen,
         # hashable) model instance. Lazily created: most nodes never reach
         # a delivered terminal.
@@ -238,12 +243,12 @@ class _TrieNode:
         # collision memo.
         self.loopback_traversals: tuple[Traversal, ...] | None = None
         self.loopback_memo: dict[object, int | None] | None = None
-        # Incremental circuit-model state (in-flight nodes only):
-        # the directed channels crossed so far, the index of the first
-        # directed re-crossing (None while all are distinct), and the
-        # largest index whose reverse channel was also crossed (drives the
-        # loopback verdict: a retrace re-crosses every wire backwards).
-        self.chan_set: set | None = None
+        # Incremental circuit-model state (in-flight nodes only): the index
+        # of the first directed re-crossing (None while all channels are
+        # distinct), and the largest index whose reverse channel was also
+        # crossed (drives the loopback verdict: a retrace re-crosses every
+        # wire backwards). The channels themselves are ``traversals`` — a
+        # handful of hops, scanned instead of copied into a per-node set.
         self.fwd_blocked: int | None = None
         self.last_rev: int | None = None
 
@@ -280,6 +285,20 @@ class IncrementalPathEvaluator:
 
         self._circuit_type = CircuitModel
         self._roots: dict[str, _TrieNode] = {}
+        # Sibling-batch hints: ``(h0, shared prefix)`` -> trie node after
+        # consuming that prefix, primed by :meth:`warm_siblings`. A walk of
+        # ``prefix + (t,)`` then costs one dict lookup plus one child step
+        # instead of an O(depth) descent. Valid exactly as long as the trie
+        # itself (cleared on every invalidation).
+        self._hints: dict[tuple[str, tuple[int, ...]], _TrieNode] = {}
+        # Flat (node, port) -> (far end, far is host, far radix) memo,
+        # filled on demand (None for unwired ports). Plain-tuple keys hash
+        # much faster than PortRef dataclasses on the per-probe extension
+        # path, and carrying the far node's kind and radix saves two more
+        # registry lookups per hop; dropped with the trie on invalidation.
+        self._adj: dict[
+            tuple[str, int], tuple[PortRef, bool, int] | None
+        ] = {}
         self._topo_epoch = net.topology_epoch
         self._fault_epoch = faults.fault_epoch if faults is not None else 0
         self._n_nodes = 0
@@ -301,6 +320,8 @@ class IncrementalPathEvaluator:
     def invalidate(self) -> None:
         """Drop every cached walk (counted in ``stats.invalidations``)."""
         self._roots.clear()
+        self._hints.clear()
+        self._adj.clear()
         self._n_nodes = 0
         self._invalidations += 1
         self._topo_epoch = self._net.topology_epoch
@@ -343,7 +364,7 @@ class IncrementalPathEvaluator:
                 nodes=(h0, attach.node),
                 traversals=(Traversal(PortRef(h0, HOST_PORT), attach),),
             )
-            root.chan_set = {(PortRef(h0, HOST_PORT), attach)}
+            root.rev_traversals = (Traversal(attach, PortRef(h0, HOST_PORT)),)
         self._roots[h0] = root
         self._n_nodes += 1
         self._misses += 1
@@ -376,8 +397,16 @@ class IncrementalPathEvaluator:
                     traversals=parent.traversals,
                 )
             else:
-                dst = net.neighbor_at(cur.node, out_port)
-                if dst is None:
+                key = (cur.node, out_port)
+                adj = self._adj
+                if key in adj:
+                    far = adj[key]
+                else:
+                    dst = net.neighbor_at(cur.node, out_port)
+                    far = adj[key] = None if dst is None else (
+                        dst, net.is_host(dst.node), net.radix(dst.node)
+                    )
+                if far is None:
                     child = _TrieNode(
                         current=None,
                         current_is_host=False,
@@ -388,30 +417,40 @@ class IncrementalPathEvaluator:
                         traversals=parent.traversals,
                     )
                 else:
+                    dst, dst_is_host, dst_radix = far
                     src = PortRef(cur.node, out_port)
                     child = _TrieNode(
                         current=dst,
-                        current_is_host=net.is_host(dst.node),
-                        current_radix=net.radix(dst.node),
+                        current_is_host=dst_is_host,
+                        current_radix=dst_radix,
                         status=None,
                         failed_at=None,
                         nodes=parent.nodes + (dst.node,),
                         traversals=parent.traversals + (Traversal(src, dst),),
                     )
-                    # Extend the circuit-model state by one channel.
-                    pchans = parent.chan_set
-                    assert pchans is not None
+                    child.rev_traversals = (
+                        Traversal(dst, src),
+                    ) + parent.rev_traversals
+                    # Extend the circuit-model state by one channel. The
+                    # channels crossed so far are exactly the parent's
+                    # traversals, so a short scan replaces the per-node
+                    # channel-set copy the old code paid on every hop.
                     if parent.fwd_blocked is not None:
                         child.fwd_blocked = parent.fwd_blocked
-                        child.chan_set = pchans  # frozen past the collision
-                    elif (src, dst) in pchans:
-                        child.fwd_blocked = i + 1  # +1: the attach hop
-                        child.chan_set = pchans
                     else:
-                        child.chan_set = pchans | {(src, dst)}
-                        child.last_rev = (
-                            i + 1 if (dst, src) in pchans else parent.last_rev
-                        )
+                        fwd = rev = False
+                        for t in parent.traversals:
+                            if t.src == src and t.dst == dst:
+                                fwd = True
+                                break
+                            if t.src == dst and t.dst == src:
+                                rev = True
+                        if fwd:
+                            child.fwd_blocked = i + 1  # +1: the attach hop
+                        else:
+                            child.last_rev = (
+                                i + 1 if rev else parent.last_rev
+                            )
         parent.children[turn] = child
         self._n_nodes += 1
         self._misses += 1
@@ -419,6 +458,7 @@ class IncrementalPathEvaluator:
             # Backstop against unbounded growth on adversarial probe sets:
             # drop the trie but keep handing out this (still valid) node.
             self._roots.clear()
+            self._hints.clear()
             self._n_nodes = 0
             self._invalidations += 1
         return child
@@ -426,6 +466,20 @@ class IncrementalPathEvaluator:
     def _walk(self, h0: str, seq: tuple[int, ...]) -> _TrieNode:
         if not self._fresh():
             self.invalidate()
+        elif seq and self._hints:
+            node = self._hints.get((h0, seq[:-1]))
+            if node is not None:
+                self._hits += 1
+                if node.status is not None:
+                    # The prefix already failed; so does every extension.
+                    return node
+                turn = seq[-1]
+                child = node.children.get(turn)
+                if child is None:
+                    child = self._extend(node, turn, len(seq) - 1)
+                else:
+                    self._hits += 1
+                return child
         node = self._root(h0)
         if node.status is not None:
             return node
@@ -443,6 +497,64 @@ class IncrementalPathEvaluator:
     def warm(self, h0: str, turns: Iterable[int]) -> None:
         """Pre-walk a prefix so later extensions of it are single hops."""
         self._walk(h0, tuple(turns))
+
+    def warm_siblings(
+        self, h0: str, prefix: Iterable[int], turns: Iterable[int]
+    ) -> int:
+        """Prime the shared prefix for a run of sibling probes.
+
+        The mapper's explore loop extends one probe string by each turn of
+        its port plan; walking the shared prefix per probe costs O(depth)
+        dict hops each. This walks it *once* and records the resulting node
+        in the hint table consulted by :meth:`_walk` — each sibling's
+        evaluation is then one hint lookup plus one child step. Nothing is
+        evaluated speculatively: the final hop happens only when the probe
+        actually arrives, so siblings the caller announces but never probes
+        (a hit narrowed its plan) cost nothing. Hints share the trie's
+        lifetime (any epoch move drops both), so a mid-batch topology or
+        fault mutation falls back to a fresh walk exactly like the
+        unbatched path. Returns the number of siblings the hint covers.
+        """
+        seq = tuple(prefix)
+        if not self._fresh():
+            self.invalidate()
+        elif (h0, seq) in self._hints:
+            # Re-primed mid-run (the caller saw a hit): the prefix node is
+            # already hinted, nothing to walk.
+            return sum(1 for _ in turns)
+        node = self._root(h0)
+        if node.status is None:
+            for i, turn in enumerate(seq):
+                child = node.children.get(turn)
+                if child is None:
+                    child = self._extend(node, turn, i)
+                else:
+                    self._hits += 1
+                node = child
+                if node.status is not None:
+                    # Absorbing prefix: every extension is the identical
+                    # failure node (what _walk returns for longer strings).
+                    break
+        self._hints[(h0, seq)] = node
+        return sum(1 for _ in turns)
+
+    def evaluate_batch(
+        self,
+        h0: str,
+        prefix: Iterable[int],
+        turns: Iterable[int],
+        collision: "CollisionModel | None" = None,
+    ) -> list[ProbeInfo]:
+        """Evaluate every sibling ``prefix + (t,)`` via one trie descent.
+
+        Semantically identical to calling :meth:`probe_info` per sibling —
+        same results, same trie contents afterwards — but the shared prefix
+        is walked once instead of once per sibling.
+        """
+        seq = tuple(prefix)
+        group = tuple(turns)
+        self.warm_siblings(h0, seq, group)
+        return [self.probe_info(h0, seq + (t,), collision) for t in group]
 
     def evaluate(self, h0: str, turns: Iterable[int]) -> PathResult:
         """Drop-in replacement for :func:`evaluate_route`."""
@@ -568,14 +680,14 @@ class IncrementalPathEvaluator:
                 )
             lb = node.loopback_traversals
             if lb is None:
-                lb = node.loopback_traversals = node.traversals + tuple(
-                    tr.reversed() for tr in reversed(node.traversals)
+                lb = node.loopback_traversals = (
+                    node.traversals + node.rev_traversals
                 )
             return ProbeInfo(PathStatus.DELIVERED, len(lb), h0, None, lb)
         lb = node.loopback_traversals
         if lb is None:
-            lb = node.loopback_traversals = node.traversals + tuple(
-                tr.reversed() for tr in reversed(node.traversals)
+            lb = node.loopback_traversals = (
+                node.traversals + node.rev_traversals
             )
         blocked: int | None = None
         if collision is not None:

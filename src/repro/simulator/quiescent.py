@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.simulator.collision import CircuitModel, CollisionModel
 from repro.simulator.faults import FaultModel
@@ -133,6 +134,7 @@ class QuiescentProbeService:
         # (they mutate clocks/topology or observe records instead), and
         # callers consume the context before the next probe starts.
         self._ctx = ProbeContext(ProbeKind.HOST, (), self)
+        self._last_validated: Turns | None = None
         stats_layer.on_attach(self)
         for layer in self._layers:
             layer.on_attach(self)
@@ -223,7 +225,11 @@ class QuiescentProbeService:
         info = self._probe_info(ctx.turns)
         ctx.info = info
         if info.ok and info.blocked is None:
-            if not self.faults.kills_traversals(info.traversals):
+            # Inactive faults kill nothing and draw nothing, so skipping the
+            # call is byte-identical (and keeps the traversal tuple untouched).
+            if not self.faults.active or not self.faults.kills_traversals(
+                info.traversals
+            ):
                 target = info.delivered_to
                 assert target is not None
                 ctx.hit = True
@@ -236,8 +242,9 @@ class QuiescentProbeService:
         if info.ok:
             # By construction the loopback terminates back at the mapper.
             assert info.delivered_to == self.mapper
-            if info.blocked is None and not self.faults.kills_traversals(
-                info.traversals
+            if info.blocked is None and (
+                not self.faults.active
+                or not self.faults.kills_traversals(info.traversals)
             ):
                 ctx.hit = True
                 ctx.response = "switch"
@@ -249,7 +256,10 @@ class QuiescentProbeService:
             info.ok
             and info.delivered_to == self.mapper
             and info.blocked is None
-            and not self.faults.kills_traversals(info.traversals)
+            and (
+                not self.faults.active
+                or not self.faults.kills_traversals(info.traversals)
+            )
         ):
             ctx.hit = True
             ctx.response = "loopback"
@@ -282,7 +292,7 @@ class QuiescentProbeService:
         return None
 
     def probe_host(self, turns: Turns) -> str | None:
-        turns = validate_turns(turns, limit=self._turn_limit)
+        turns = self._validated(turns)
         ctx = self._transact(
             ProbeKind.HOST,
             turns,
@@ -293,11 +303,25 @@ class QuiescentProbeService:
         return ctx.responder if ctx.hit else None
 
     def probe_switch(self, turns: Turns) -> bool:
-        turns = validate_turns(turns, limit=self._turn_limit)
+        turns = self._validated(turns)
         ctx = self._transact(
             ProbeKind.SWITCH, turns, self._eval_switch, round_trip=False
         )
         return ctx.hit
+
+    def _validated(self, turns: Turns) -> Turns:
+        """Validate a probe string, memoizing by object identity.
+
+        The two halves of a probe pair pass the *same* tuple object; a probe
+        string validated once is validated forever (validation depends only
+        on its contents and the fixed turn limit), so the identity check is
+        sound and skips re-walking the string on the second half.
+        """
+        if turns is self._last_validated:
+            return turns
+        out = validate_turns(turns, limit=self._turn_limit)
+        self._last_validated = out if out is turns else None
+        return out
 
     def probe_loopback(self, turns: Turns) -> bool:
         """Send an arbitrary worm (zeros allowed); True iff it returns here.
@@ -351,6 +375,18 @@ class QuiescentProbeService:
         """Hint from the mapper: ``turns`` is about to be extended."""
         if self._evaluator is not None:
             self._evaluator.warm(self.mapper, turns)
+
+    def warm_siblings(self, prefix: Turns, turns: Iterable[int]) -> None:
+        """Hint from the mapper: each ``prefix + (t,)`` is about to be probed.
+
+        One trie descent primes hint nodes for the whole sibling group
+        (see :meth:`IncrementalPathEvaluator.warm_siblings`); the probes
+        themselves still go through :meth:`_transact` one at a time, so
+        middleware layers, accounting and RNG draw order are byte-identical
+        to the unbatched path. A no-op without the cache.
+        """
+        if self._evaluator is not None:
+            self._evaluator.warm_siblings(self.mapper, tuple(prefix), turns)
 
     @property
     def eval_cache_stats(self) -> EvalCacheStats | None:

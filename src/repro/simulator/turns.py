@@ -41,7 +41,13 @@ def validate_turns(
     ``{-7..+7}``, but the algorithms are radix-generic, so services on
     wider fabrics pass ``radix - 1``.
     """
-    out = tuple(int(t) for t in turns)
+    # Already-canonical input (a tuple of exact ints, the common case on
+    # the probe hot path) is returned as the same object, so callers can
+    # memoize validation by identity.
+    if type(turns) is tuple and all(type(t) is int for t in turns):
+        out = turns
+    else:
+        out = tuple(int(t) for t in turns)
     for t in out:
         if not -limit <= t <= limit:
             raise ValueError(f"turn {t} outside alphabet [{-limit}, {limit}]")

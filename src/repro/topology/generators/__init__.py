@@ -18,7 +18,11 @@ from repro.topology.generators.now import (
     build_subcluster,
     combine_subclusters,
 )
-from repro.topology.generators.fattree import build_fat_tree
+from repro.topology.generators.fattree import (
+    build_fat_tree,
+    build_three_tier_fat_tree,
+    three_tier_counts,
+)
 from repro.topology.generators.regular import (
     build_chain,
     build_hypercube,
@@ -39,7 +43,9 @@ __all__ = [
     "build_ring",
     "build_star",
     "build_subcluster",
+    "build_three_tier_fat_tree",
     "build_torus",
     "combine_subclusters",
     "random_san",
+    "three_tier_counts",
 ]

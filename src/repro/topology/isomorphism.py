@@ -14,10 +14,22 @@ strongest guarantee a mapper can give is an isomorphism that
 what the theorem "``M / L`` is isomorphic to ``N - F``" is checked against in
 tests and experiments. :func:`networks_equal` is the strict comparison
 (identical names, ports and wires) used for serialization round-trips.
+
+Two matching strategies share the propagation core. The default (``auto``)
+first refines both networks into *canonical signature classes* — an
+iterative Weisfeiler-Leman-style coloring over (radix, attached host
+names, offset-normalized port structure) — refuting non-isomorphic pairs
+without any assignment search and restricting the host-free backtracking
+fallback to same-class candidates with the one port offset that aligns
+their used-port ranges. ``pairwise`` is the original exhaustive
+candidates-times-offsets scan, kept verbatim as the differential oracle:
+both strategies provably explore the same witness space (a non-aligned
+offset can never equate wire signatures), so their verdicts always agree.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.topology.model import Network, PortRef
@@ -52,7 +64,9 @@ def networks_equal(a: Network, b: Network) -> bool:
     return wires_a == wires_b
 
 
-def match_networks(model: Network, actual: Network) -> IsomorphismReport:
+def match_networks(
+    model: Network, actual: Network, *, strategy: str = "auto"
+) -> IsomorphismReport:
     """Find a host-anchored, offset-tolerant isomorphism ``model -> actual``.
 
     The match is propagated breadth-first from the hosts: a host pins its
@@ -62,7 +76,15 @@ def match_networks(model: Network, actual: Network) -> IsomorphismReport:
     isomorphism. Networks whose every switch lies on some path between hosts
     (true of every core ``N - F``) are matched completely by propagation; a
     backtracking fallback covers host-free switch clusters.
+
+    ``strategy`` selects how that fallback searches: ``"auto"`` (default)
+    prunes it with canonical WL signature classes (and refutes up front
+    when the class multisets disagree); ``"pairwise"`` is the original
+    exhaustive scan, kept as the differential oracle. Verdicts are
+    identical; witnesses may differ when several isomorphisms exist.
     """
+    if strategy not in ("auto", "pairwise"):
+        raise ValueError(f"unknown strategy {strategy!r}")
     if set(model.hosts) != set(actual.hosts):
         return IsomorphismReport(False, reason="host sets differ")
     if model.n_switches != actual.n_switches:
@@ -74,6 +96,20 @@ def match_networks(model: Network, actual: Network) -> IsomorphismReport:
         return IsomorphismReport(
             False, reason=f"wire counts differ: {model.n_wires} vs {actual.n_wires}"
         )
+
+    colors: dict[tuple[int, str], int] | None = None
+    if strategy == "auto":
+        colors = _wl_colors(model, actual)
+        if Counter(
+            colors[(0, s)] for s in model.switches
+        ) != Counter(colors[(1, s)] for s in actual.switches):
+            return IsomorphismReport(
+                False,
+                reason=(
+                    "canonical signature classes differ (WL refinement "
+                    "over radix, host anchors and port structure)"
+                ),
+            )
 
     node_map: dict[str, str] = {h: h for h in model.hosts}
     reverse: dict[str, str] = dict(node_map)
@@ -170,10 +206,16 @@ def match_networks(model: Network, actual: Network) -> IsomorphismReport:
     if unmatched:
         # Host-free switch clusters (e.g. comparing full networks that still
         # contain F). Solve the remainder by backtracking.
-        remaining_actual = [s for s in actual.switches if s not in reverse]
-        solution = _backtrack(
-            model, actual, unmatched, remaining_actual, node_map, reverse, offsets
-        )
+        if colors is not None:
+            solution = _backtrack_wl(
+                model, actual, unmatched, node_map, reverse, offsets, colors
+            )
+        else:
+            remaining_actual = [s for s in actual.switches if s not in reverse]
+            solution = _backtrack(
+                model, actual, unmatched, remaining_actual, node_map, reverse,
+                offsets,
+            )
         if solution is None:
             return IsomorphismReport(
                 False, reason=f"no assignment for host-free switches {unmatched}"
@@ -214,6 +256,172 @@ def _wire_signature(net: Network, node: str, offset: int) -> frozenset[tuple]:
             far_kind = "host" if net.is_host(far.node) else "switch"
             sig.append((end.port + offset, far_kind))
     return frozenset(sig)
+
+
+def _wl_colors(
+    model: Network, actual: Network
+) -> dict[tuple[int, str], int]:
+    """Canonical signature classes for every switch of both networks.
+
+    Iterative Weisfeiler-Leman-style refinement computed *jointly* (one
+    class table spans both sides, so equal ids mean equal signatures across
+    networks). Features are invariant under the per-switch port offset the
+    mapper cannot observe: ports are normalized by the minimum used port,
+    hosts anchor by name, and each round folds in the neighbor's class and
+    the normalized far-end port. Class ids are assigned by sorting the
+    canonical keys — never by ``hash()`` — so the refinement is
+    deterministic across processes.
+
+    Soundness: any isomorphism-up-to-offsets preserves every feature, so
+    switches in different classes can never correspond. Equal classes are
+    *not* sufficient — the backtracking assignment still verifies.
+    """
+    nets = (model, actual)
+    base: dict[tuple[int, str], int] = {}
+    for side, net in enumerate(nets):
+        for s in net.switches:
+            ports = net.used_ports(s)
+            base[(side, s)] = min(ports) if ports else 0
+
+    keys: dict[tuple[int, str], tuple] = {}
+    for side, net in enumerate(nets):
+        for s in net.switches:
+            b = base[(side, s)]
+            stub = []
+            for wire in net.wires_of(s):
+                for end in _ends_on(wire, s):
+                    far = wire.other_end(end)
+                    tag = (
+                        "h:" + far.node if net.is_host(far.node) else "s"
+                    )
+                    stub.append((end.port - b, tag))
+            keys[(side, s)] = (net.radix(s), tuple(sorted(stub)))
+    colors = _assign_class_ids(keys)
+
+    n_switches = model.n_switches + actual.n_switches
+    n_classes = len(set(colors.values()))
+    for _ in range(n_switches):
+        keys = {}
+        for side, net in enumerate(nets):
+            for s in net.switches:
+                b = base[(side, s)]
+                nbr = []
+                for wire in net.wires_of(s):
+                    for end in _ends_on(wire, s):
+                        far = wire.other_end(end)
+                        if net.is_host(far.node):
+                            nbr.append((end.port - b, -1, "h:" + far.node, 0))
+                        else:
+                            nbr.append(
+                                (
+                                    end.port - b,
+                                    colors[(side, far.node)],
+                                    "s",
+                                    far.port - base[(side, far.node)],
+                                )
+                            )
+                keys[(side, s)] = (colors[(side, s)], tuple(sorted(nbr)))
+        colors = _assign_class_ids(keys)
+        refined = len(set(colors.values()))
+        if refined == n_classes:
+            break  # stable partition: refinement only ever splits classes
+        n_classes = refined
+    return colors
+
+
+def _assign_class_ids(keys: dict[tuple[int, str], tuple]) -> dict[tuple[int, str], int]:
+    ids = {key: i for i, key in enumerate(sorted(set(keys.values())))}
+    return {node: ids[key] for node, key in keys.items()}
+
+
+def _min_aligned_delta(
+    model: Network, m_switch: str, actual: Network, a_switch: str
+) -> int | None:
+    """The only port offset that can equate the two wire signatures.
+
+    Shifting preserves order, so ``{m_ports + delta} == {a_ports}`` forces
+    ``delta = min(a_ports) - min(m_ports)`` — every other delta fails the
+    signature comparison, which is exactly why the exhaustive oracle's
+    delta sweep finds at most this one (wireless switches match under any
+    in-range delta; 0 is as good a canonical choice as any).
+    """
+    m_ports = model.used_ports(m_switch)
+    a_ports = actual.used_ports(a_switch)
+    if not m_ports and not a_ports:
+        return 0
+    if not m_ports or not a_ports:
+        return None
+    return min(a_ports) - min(m_ports)
+
+
+def _backtrack_wl(
+    model: Network,
+    actual: Network,
+    todo: list[str],
+    node_map: dict[str, str],
+    reverse: dict[str, str],
+    offsets: dict[str, int],
+    colors: dict[tuple[int, str], int],
+):
+    """Class-pruned assignment for switches unreachable from any host.
+
+    Same witness space as :func:`_backtrack` (the oracle), minus the
+    candidate pairs WL already proved impossible and the port offsets that
+    cannot align the used-port ranges.
+    """
+    by_class: dict[int, list[str]] = {}
+    for s in actual.switches:
+        if s not in reverse:
+            by_class.setdefault(colors[(1, s)], []).append(s)
+    for group in by_class.values():
+        group.sort()
+    # Most-constrained first: small candidate pools fail (and prune) early.
+    order = sorted(
+        todo, key=lambda s: (len(by_class.get(colors[(0, s)], ())), s)
+    )
+    return _assign_wl(
+        model, actual, order, 0, node_map, reverse, offsets, colors, by_class
+    )
+
+
+def _assign_wl(
+    model: Network,
+    actual: Network,
+    order: list[str],
+    i: int,
+    node_map: dict[str, str],
+    reverse: dict[str, str],
+    offsets: dict[str, int],
+    colors: dict[tuple[int, str], int],
+    by_class: dict[int, list[str]],
+):
+    if i == len(order):
+        return dict(node_map), dict(offsets)
+    m_switch = order[i]
+    for a_switch in by_class.get(colors[(0, m_switch)], ()):
+        if a_switch in reverse:
+            continue
+        delta = _min_aligned_delta(model, m_switch, actual, a_switch)
+        if delta is None:
+            continue
+        if _wire_signature(model, m_switch, delta) != _wire_signature(
+            actual, a_switch, 0
+        ):
+            continue
+        node_map[m_switch] = a_switch
+        reverse[a_switch] = m_switch
+        offsets[m_switch] = delta
+        if _locally_consistent(model, actual, m_switch, node_map, offsets):
+            result = _assign_wl(
+                model, actual, order, i + 1, node_map, reverse, offsets,
+                colors, by_class,
+            )
+            if result is not None:
+                return result
+        del node_map[m_switch]
+        del reverse[a_switch]
+        del offsets[m_switch]
+    return None
 
 
 def _backtrack(

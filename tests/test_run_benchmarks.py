@@ -88,8 +88,59 @@ class TestGateCli:
         assert harness.main(args) == 0
 
 
+class TestScaleSuite:
+    """The datacenter-tier arms and their CI-facing run policies."""
+
+    def test_all_tiers_registered(self, harness):
+        assert set(harness.SCALE_SUITE) == {
+            "fat_tree_map_3tier_k8",
+            "fat_tree_map_3tier_k16",
+            "fat_tree_map_3tier_k30",
+        }
+
+    def test_smoke_tier_survives_quick(self, harness):
+        """CI gates on --quick: the k=8 tier must actually run there."""
+        assert "fat_tree_map_3tier_k8" not in harness.SLOW_BENCHES
+
+    def test_large_tiers_skipped_by_quick(self, harness):
+        assert {
+            "fat_tree_map_3tier_k16", "fat_tree_map_3tier_k30"
+        } <= harness.SLOW_BENCHES
+
+    def test_acceptance_tier_is_one_shot(self, harness):
+        assert "fat_tree_map_3tier_k30" in harness.ONE_SHOT_BENCHES
+
+    def test_one_shot_benches_run_once_without_warmup(
+        self, harness, monkeypatch
+    ):
+        calls: list[int] = []
+
+        def fake():
+            calls.append(1)
+            return 0.001, {}
+
+        monkeypatch.setattr(harness, "ONE_SHOT_BENCHES", frozenset({"b"}))
+        doc = harness.run_suite({"b": fake}, repeats=5, quick=False)
+        assert len(calls) == 1
+        assert doc["benchmarks"]["b"]["repeats"] == 1
+
+    def test_ordinary_benches_still_warm_up(self, harness):
+        calls: list[int] = []
+
+        def fake():
+            calls.append(1)
+            return 0.001, {}
+
+        doc = harness.run_suite({"b": fake}, repeats=3, quick=False)
+        assert len(calls) == 4  # 1 warm-up + 3 samples
+        assert doc["benchmarks"]["b"]["repeats"] == 3
+
+
 class TestCommittedBaselines:
-    @pytest.mark.parametrize("name", ["BENCH_micro.json", "BENCH_mapping.json"])
+    @pytest.mark.parametrize(
+        "name",
+        ["BENCH_micro.json", "BENCH_mapping.json", "BENCH_scale.json"],
+    )
     def test_baseline_is_committed_and_well_formed(self, name):
         doc = json.loads((REPO_ROOT / "benchmarks" / name).read_text())
         assert doc["schema"] == 1
@@ -108,3 +159,18 @@ class TestCommittedBaselines:
         assert benches["full_mapping_subcluster_cached"]["extra"][
             "cache_hit_rate"
         ] > 0.5
+
+    def test_scale_baseline_covers_every_tier(self):
+        doc = json.loads(
+            (REPO_ROOT / "benchmarks" / "BENCH_scale.json").read_text()
+        )
+        benches = doc["benchmarks"]
+        assert set(benches) == {
+            "fat_tree_map_3tier_k8",
+            "fat_tree_map_3tier_k16",
+            "fat_tree_map_3tier_k30",
+        }
+        assert benches["fat_tree_map_3tier_k30"]["extra"]["switches"] == 1125
+        # The scale curve only means something if each tier verified its map.
+        for entry in benches.values():
+            assert entry["extra"]["probes"] > 0

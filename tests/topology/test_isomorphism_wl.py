@@ -1,0 +1,171 @@
+"""WL signature matching against the pairwise oracle.
+
+``match_networks(strategy="auto")`` refines both networks into canonical
+signature classes (iterative Weisfeiler-Leman-style coloring) to refute
+mismatches without search and to prune the host-free backtracking
+fallback. ``strategy="pairwise"`` is the original exhaustive scan, kept
+verbatim as the differential oracle: the verdicts must always agree.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.topology.builder import NetworkBuilder
+from repro.topology.generators import (
+    build_mesh,
+    build_ring,
+    build_three_tier_fat_tree,
+    build_torus,
+    random_san,
+)
+from repro.topology.isomorphism import match_networks
+from repro.topology.model import Network, TopologyError
+
+
+def _shifted_copy(net: Network, rng: random.Random) -> Network:
+    """Same wiring with a random per-switch port offset (legal by radix)."""
+    out = Network()
+    shift: dict[str, int] = {}
+    for s in net.switches:
+        out.add_switch(s, radix=net.radix(s))
+        ports = net.used_ports(s)
+        lo = min(ports) if ports else 0
+        hi = max(ports) if ports else 0
+        shift[s] = rng.randint(-lo, net.radix(s) - 1 - hi)
+    for h in net.hosts:
+        out.add_host(h)
+        shift[h] = 0
+    for w in net.wires:
+        out.connect(
+            w.a.node, w.a.port + shift[w.a.node],
+            w.b.node, w.b.port + shift[w.b.node],
+        )
+    return out
+
+
+def _assert_verdicts_agree(model: Network, actual: Network) -> None:
+    auto = match_networks(model, actual, strategy="auto")
+    oracle = match_networks(model, actual, strategy="pairwise")
+    assert auto.isomorphic == oracle.isomorphic, (
+        auto.reason, oracle.reason
+    )
+    if auto.isomorphic:
+        # Each strategy may pick a different witness, but both must be
+        # complete over the switch set.
+        assert set(auto.node_map) == set(oracle.node_map)
+
+
+class TestStrategyDispatch:
+    def test_unknown_strategy_rejected(self):
+        net = build_ring(4)
+        with pytest.raises(ValueError, match="unknown strategy"):
+            match_networks(net, net, strategy="wl")
+
+    def test_wl_refutes_without_search(self):
+        """Structurally different same-size networks die in the class
+        prefilter with a signature-specific reason."""
+        a = build_mesh(2, 3)
+        b = build_ring(6)
+        report = match_networks(a, b, strategy="auto")
+        assert not report
+
+
+class TestMergeHeavyRegularTopologies:
+    """The regular families are the merge-heaviest maps the repo builds:
+    every switch looks locally alike, so signatures must separate them by
+    structure alone."""
+
+    @pytest.mark.parametrize("build", [
+        lambda: build_ring(6),
+        lambda: build_mesh(3, 3),
+        lambda: build_torus(3, 3),
+        lambda: build_three_tier_fat_tree(4),
+    ])
+    def test_self_match_both_strategies(self, build):
+        _assert_verdicts_agree(build(), build())
+
+    @pytest.mark.parametrize("build", [
+        lambda: build_ring(6),
+        lambda: build_torus(3, 3),
+        lambda: build_three_tier_fat_tree(4),
+    ])
+    def test_port_shifted_copies_match(self, build):
+        net = build()
+        _assert_verdicts_agree(net, _shifted_copy(net, random.Random(7)))
+
+
+class TestRandomDifferential:
+    def test_random_sans_verdicts_agree(self):
+        """Shifted copies (isomorphic) and independent draws (usually not):
+        120 verdict pairs, zero disagreements allowed."""
+        rng = random.Random(42)
+        checked = 0
+        for trial in range(120):
+            try:
+                model = random_san(
+                    n_switches=rng.randint(1, 6),
+                    n_hosts=rng.randint(2, 5),
+                    extra_links=rng.randint(0, 4),
+                    parallel_link_prob=rng.choice([0.0, 0.5]),
+                    seed=rng.randint(0, 10_000),
+                )
+            except TopologyError:
+                continue
+            if trial % 2 == 0:
+                actual = _shifted_copy(model, rng)
+            else:
+                try:
+                    actual = random_san(
+                        n_switches=model.n_switches,
+                        n_hosts=model.n_hosts,
+                        extra_links=rng.randint(0, 4),
+                        parallel_link_prob=0.0,
+                        seed=rng.randint(0, 10_000),
+                    )
+                except TopologyError:
+                    continue
+            _assert_verdicts_agree(model, actual)
+            checked += 1
+        assert checked >= 60
+
+
+class TestHostFreeClusters:
+    """Host-free pendants force the backtracking fallback, where the WL
+    strategy searches same-class candidates under the min-aligned offset."""
+
+    def _pendant(self, ports=(0, 3), tail=5):
+        b = NetworkBuilder()
+        b.switches("core", "f0", "f1")
+        b.hosts("h0", "h1")
+        b.attach("h0", "core", port=0)
+        b.attach("h1", "core", port=1)
+        b.link("core", "f0", port_a=6, port_b=ports[0])
+        b.link("f0", "f1", port_a=ports[1], port_b=tail)
+        return b.build()
+
+    def test_offset_pendants_agree(self):
+        _assert_verdicts_agree(
+            self._pendant(ports=(0, 3), tail=5),
+            self._pendant(ports=(2, 5), tail=1),
+        )
+
+    def test_spacing_mismatch_agree(self):
+        _assert_verdicts_agree(
+            self._pendant(ports=(0, 3)), self._pendant(ports=(0, 4))
+        )
+
+    def test_permuted_pendants_agree(self):
+        def build(order):
+            b = NetworkBuilder()
+            b.switches("core", *order)
+            b.hosts("h0", "h1")
+            b.attach("h0", "core", port=0)
+            b.attach("h1", "core", port=1)
+            b.link("core", order[0], port_a=5, port_b=0)
+            b.link("core", order[1], port_a=6, port_b=0)
+            return b.build()
+
+        _assert_verdicts_agree(build(("fa", "fb")), build(("fb", "fa")))
