@@ -12,7 +12,10 @@ one command:
 - ``scale``   — datacenter-tier three-tier fat trees (80 / 320 / 1125
   switches), each mapped end-to-end and verified. The k=8 tier is the CI
   smoke gate; the larger tiers are ``--quick``-skipped and the 1125-switch
-  tier records a single sample.
+  tier records a single sample;
+- ``remap``   — incremental remapping: one cable cut on a warm, fully
+  mapped fabric, the seeded remap timed against a from-scratch run. The
+  >=10x probe-reduction acceptance ratio is asserted inside each bench.
 
 Each benchmark repeats ``--repeats`` times and records the **median**
 wall-clock time per operation plus any extra counters (probe totals,
@@ -279,6 +282,98 @@ SCALE_SUITE: dict[str, Bench] = {
     "fat_tree_map_3tier_k30": lambda: _scale_map(30, 2),
 }
 
+# ---------------------------------------------------------------------------
+# remap suite: seeded incremental remap vs from-scratch after one cable cut
+# ---------------------------------------------------------------------------
+
+def _remap_single_cut(make_net, cut_end) -> tuple[float, dict]:
+    """Cut one cable on a warm, fully mapped fabric and remap both ways.
+
+    The timed quantity is the *seeded* remap — cycle N+1 reusing cycle N's
+    map plus the delta journal — on the long-lived warm service. The
+    from-scratch arm runs on a cold service (fresh evaluator, no trie),
+    which is exactly what every remap cost before seeding existed, so the
+    recorded ratios are against the honest pre-incremental baseline.
+
+    Probe counts are deterministic, so the >=10x acceptance ratio is
+    asserted here (a gate that cannot flake on runner noise); wall-clock
+    ratios are recorded in the extras for the committed baseline rather
+    than asserted per-run.
+    """
+    from repro.core.mapper import BerkeleyMapper, MapSeed
+    from repro.simulator.faults import FaultModel
+    from repro.simulator.quiescent import QuiescentProbeService
+    from repro.topology.analysis import recommended_search_depth
+    from repro.topology.isomorphism import match_networks
+
+    net = make_net()
+    h0 = sorted(net.hosts)[0]
+    depth = recommended_search_depth(net, h0)
+    warm = QuiescentProbeService(net=net, mapper=h0, faults=FaultModel())
+    epoch = net.topology_epoch
+    prior = BerkeleyMapper(warm, search_depth=depth).run()
+
+    net.disconnect(net.wire_at(*cut_end))
+    delta = net.affected_since(epoch)
+    assert delta is not None and not delta.added and not delta.unbounded
+
+    cold = QuiescentProbeService(net=net, mapper=h0, faults=FaultModel())
+    start = time.perf_counter()
+    scratch = BerkeleyMapper(cold, search_depth=depth).run()
+    scratch_s = time.perf_counter() - start
+    scratch_probes = scratch.stats.total_probes
+
+    seeded_mapper = BerkeleyMapper(warm, search_depth=depth)
+    seeded_mapper.seed_with(
+        MapSeed(
+            network=prior.network,
+            witnesses=prior.witnesses,
+            affected=delta.removed,
+            entries=prior.entry_ports,
+        )
+    )
+    base = warm.stats.total_probes
+    start = time.perf_counter()
+    seeded = seeded_mapper.run()
+    seconds = time.perf_counter() - start
+    probes = warm.stats.total_probes - base
+
+    assert seeded.seeded, seeded.seed_fallback
+    assert match_networks(seeded.network, scratch.network)
+    probe_ratio = scratch_probes / probes
+    assert probe_ratio >= 10.0, (scratch_probes, probes)
+    return seconds, {
+        "probes": probes,
+        "scratch_probes": scratch_probes,
+        "probe_ratio": round(probe_ratio, 1),
+        "scratch_ms": round(scratch_s * 1e3, 2),
+        "wall_ratio": round(scratch_s / seconds, 1),
+        "subtrees_kept": seeded.kept_nodes,
+    }
+
+
+def _remap_now() -> tuple[float, dict]:
+    from repro.topology.generators import build_full_now
+
+    # A peripheral redundant trunk: the network stays connected and the
+    # dirty region is just the two endpoint switches.
+    return _remap_single_cut(build_full_now, ("A-l2-1", 2))
+
+
+def _remap_fattree8() -> tuple[float, dict]:
+    from repro.topology.generators import build_three_tier_fat_tree
+
+    return _remap_single_cut(
+        lambda: build_three_tier_fat_tree(8), ("clos-core-0", 1)
+    )
+
+
+REMAP_SUITE: dict[str, Bench] = {
+    "remap_single_cut_full_now": _remap_now,
+    "remap_single_cut_fattree8": _remap_fattree8,
+}
+
+
 #: Benchmarks skipped by --quick (the CI smoke job): too slow for a gate.
 SLOW_BENCHES = frozenset({
     "fig5_map_full_now",
@@ -355,7 +450,7 @@ def find_regressions(
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--suite",
-                        choices=["micro", "mapping", "scale", "all"],
+                        choices=["micro", "mapping", "scale", "remap", "all"],
                         default="micro")
     parser.add_argument("--repeats", type=int, default=5,
                         help="samples per benchmark (median is recorded)")
@@ -391,6 +486,7 @@ def main(argv: list[str] | None = None) -> int:
             "micro": MICRO_SUITE,
             "mapping": MAPPING_SUITE,
             "scale": SCALE_SUITE,
+            "remap": REMAP_SUITE,
         }
         suites = (
             all_suites if args.suite == "all"

@@ -227,6 +227,7 @@ def _execute_cell(
     probe_budget: int,
     oracles: tuple[Oracle, ...],
     mapper_factory: Callable | None,
+    incremental: bool,
 ) -> CellResult:
     result = CellResult(scenario, dict(topology), seed)
     try:
@@ -258,6 +259,14 @@ def _execute_cell(
         service_factory=service_factory,
         mapper_factory=mapper_factory,
         depth_fn=lambda n, h: _settle_depth(n, faults, h),
+        # The incremental arm: cycle N+1 seeds its mapper from cycle N's
+        # map plus both delta journals; every unseedable situation (healed
+        # wire, probability reconfig, mid-map chaos pushing the window)
+        # falls back to the plain from-scratch cycle the oracles already
+        # police. Outcomes must agree either way — that equivalence is
+        # exactly what replaying the corpus under this arm checks.
+        faults=faults if incremental else None,
+        incremental=incremental,
     )
 
     try:
@@ -334,11 +343,13 @@ def run_cell(
     oracles: tuple[Oracle, ...] = DEFAULT_ORACLES,
     check_determinism: bool = True,
     mapper_factory: Callable | None = None,
+    incremental: bool = False,
 ) -> CellResult:
     """Run one chaos cell; optionally re-run it to prove determinism.
 
     ``mapper_factory(service, depth)`` overrides the daemon's mapper — the
     test suite uses it to inject deliberate bugs the oracles must catch.
+    ``incremental`` turns on the daemon's delta-seeded remap arm.
     """
     result = _execute_cell(
         scenario,
@@ -348,6 +359,7 @@ def run_cell(
         probe_budget=probe_budget,
         oracles=oracles,
         mapper_factory=mapper_factory,
+        incremental=incremental,
     )
     if check_determinism and result.invalid is None:
         rerun = _execute_cell(
@@ -358,6 +370,7 @@ def run_cell(
             probe_budget=probe_budget,
             oracles=oracles,
             mapper_factory=mapper_factory,
+            incremental=incremental,
         )
         identical = json.dumps(result.to_dict(), sort_keys=True) == json.dumps(
             rerun.to_dict(), sort_keys=True
@@ -388,6 +401,8 @@ class CampaignConfig:
     settle_cycles: int = 3
     probe_budget: int = 1_000_000
     check_determinism: bool = True
+    #: Run every cell with the daemon's delta-seeded incremental arm.
+    incremental: bool = False
 
     def __post_init__(self) -> None:
         if not self.seeds:
@@ -458,6 +473,7 @@ def run_campaign(
                     probe_budget=config.probe_budget,
                     check_determinism=config.check_determinism,
                     mapper_factory=mapper_factory,
+                    incremental=config.incremental,
                 )
                 report.cells.append(cell)
                 if progress is not None:
@@ -487,6 +503,7 @@ def campaign_config_to_dict(config: CampaignConfig) -> dict[str, Any]:
         "settle_cycles": config.settle_cycles,
         "probe_budget": config.probe_budget,
         "check_determinism": config.check_determinism,
+        "incremental": config.incremental,
     }
 
 
@@ -501,6 +518,7 @@ def campaign_config_from_dict(data: Mapping[str, Any]) -> CampaignConfig:
         settle_cycles=int(data.get("settle_cycles", 3)),
         probe_budget=int(data.get("probe_budget", 1_000_000)),
         check_determinism=bool(data.get("check_determinism", True)),
+        incremental=bool(data.get("incremental", False)),
     )
 
 
@@ -508,7 +526,7 @@ def campaign_config_from_dict(data: Mapping[str, Any]) -> CampaignConfig:
 # the pinned demonstration campaign (CI's chaos-smoke grid)
 # ---------------------------------------------------------------------------
 def demo_scenarios() -> tuple[Scenario, ...]:
-    """Twenty pinned scenarios against the 6-switch ring topology.
+    """Twenty-one pinned scenarios against the 6-switch ring topology.
 
     The ring (one host per switch; switch ``ring-sK`` carries its host at
     port 2 and its ring cables at ports 0/1) has enough redundancy that any
@@ -622,11 +640,25 @@ def demo_scenarios() -> tuple[Scenario, ...]:
             ),
             seed=120,
         ),
+        Scenario(
+            # Multi-fault exercise for the incremental arm: the double cut
+            # at cycle 1 is a bounded removals-only delta (seedable), the
+            # heal at cycle 2 *adds* connectivity, which no seed can prove
+            # absent — the daemon must fall back to a from-scratch map and
+            # still converge to the same verdicts as the plain arm.
+            "double-cut-then-partial-heal",
+            (
+                cut(1, "ring-s2", 1),
+                cut(1, "ring-s4", 1),
+                heal(2, "ring-s2", 1),
+            ),
+            seed=121,
+        ),
     )
 
 
 def demo_campaign(*, seeds: tuple[int, ...] = (0, 1, 2)) -> CampaignConfig:
-    """The committed demonstration grid: 20 scenarios × 1 topology × 3 seeds."""
+    """The committed demonstration grid: 21 scenarios × 1 topology × 3 seeds."""
     return CampaignConfig(
         name="demo-ring6",
         scenarios=demo_scenarios(),

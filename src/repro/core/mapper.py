@@ -31,17 +31,25 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Mapping
 
 from repro.core.planner import ProbePlanner
+from repro.simulator.path_eval import PathStatus, evaluate_route
 from repro.simulator.probes import ProbeService, ProbeStats
 from repro.simulator.turns import Turns
+from repro.topology.delta import Endpoint
 from repro.topology.model import Network
 
 if TYPE_CHECKING:
     from repro.core.instrumentation import PhaseProfile, PhaseProfiler
 
-__all__ = ["BerkeleyMapper", "GrowthSample", "MapResult", "MappingError"]
+__all__ = [
+    "BerkeleyMapper",
+    "GrowthSample",
+    "MapResult",
+    "MapSeed",
+    "MappingError",
+]
 
 
 class MappingError(RuntimeError):
@@ -131,10 +139,51 @@ class MapResult:
     growth: list[GrowthSample] = field(default_factory=list)
     switch_names: dict[int, str] = field(default_factory=dict)
     profile: "PhaseProfile | None" = None
+    #: Discovery witness per map node: the probe string whose walk from the
+    #: mapper host identifies that node (empty for the mapper host and its
+    #: attach switch). What a later run needs to seed itself from this map.
+    witnesses: dict[str, Turns] = field(default_factory=dict)
+    #: Witness entry port per map switch (the port the witness's last hop
+    #: arrived on). Lets a seeded re-run recover each switch's relative
+    #: coordinate system without re-walking the prior map.
+    entry_ports: dict[str, int] = field(default_factory=dict)
+    #: Whether this run kept model subtrees from a prior-map seed.
+    seeded: bool = False
+    #: Nodes adopted intact from the seed (0 for a from-scratch run).
+    kept_nodes: int = 0
+    #: Why a supplied seed was abandoned for a from-scratch run, if it was.
+    seed_fallback: str | None = None
 
     @property
     def elapsed_ms(self) -> float:
         return self.stats.elapsed_ms
+
+
+@dataclass(frozen=True, slots=True)
+class MapSeed:
+    """A prior map plus the wire-end delta separating it from the present.
+
+    ``network`` and ``witnesses`` come from the prior run's
+    :class:`MapResult`; ``affected`` is the merged *removals-only* delta of
+    every mutation since that map was captured (additions make a seed
+    unsound — a kept subtree cannot prove a wire it never probed does not
+    exist — so delta-planning callers must fall back before building one).
+    A node whose witness route never touches ``affected`` provably still
+    answers every probe the prior run based its deductions on, so its model
+    vertex is adopted intact; everything else is re-probed.
+    """
+
+    network: Network
+    witnesses: Mapping[str, Turns]
+    affected: frozenset[Endpoint]
+    #: Per-switch witness entry ports (``MapResult.entry_ports``). When the
+    #: seed comes straight from a prior run these are already known, and
+    #: providing them skips the defensive witness re-walk over the prior
+    #: map. Leave ``None`` for hand-built seeds to keep that validation.
+    entries: Mapping[str, int] | None = None
+    #: Re-probe one identifying host-probe per kept host (the paper-faithful
+    #: confirmation frontier); any mismatch abandons the seed entirely.
+    confirm: bool = True
 
 
 class BerkeleyMapper:
@@ -180,6 +229,7 @@ class BerkeleyMapper:
         max_explorations: int | None = None,
         batch: bool = True,
         profiler: "PhaseProfiler | None" = None,
+        seed: "MapSeed | None" = None,
     ) -> None:
         """``max_explorations`` bounds the number of switch explorations.
 
@@ -202,6 +252,10 @@ class BerkeleyMapper:
         self._max_explorations = max_explorations
         self._batch = batch
         self._prof = profiler
+        self._seed = seed
+        self._seeded = False
+        self._kept_nodes = 0
+        self._seed_fallback: str | None = None
 
         self._ids = itertools.count()
         self._vertices: list[MergedVertex] = []
@@ -233,7 +287,7 @@ class BerkeleyMapper:
             prof.add("prune", prof.clock() - t0)
         self._snapshot(final=True)
         t0 = prof.clock() if prof is not None else 0.0
-        network, names = self._build_network()
+        network, names, witnesses, entry_ports = self._build_network()
         if prof is not None:
             prof.add("build", prof.clock() - t0)
         return MapResult(
@@ -247,7 +301,21 @@ class BerkeleyMapper:
             growth=self._growth,
             switch_names=names,
             profile=prof.snapshot() if prof is not None else None,
+            witnesses=witnesses,
+            entry_ports=entry_ports,
+            seeded=self._seeded,
+            kept_nodes=self._kept_nodes,
+            seed_fallback=self._seed_fallback,
         )
+
+    def seed_with(self, seed: MapSeed) -> None:
+        """Install a prior-map seed (must be called before :meth:`run`).
+
+        Exists so drivers that build mappers through an injected factory
+        (the remapper daemon, the chaos runner) can add seeding without
+        widening the factory signature.
+        """
+        self._seed = seed
 
     def _seed_phase(self) -> None:
         """Hook for variants that pre-seed the model graph (Section 6
@@ -287,6 +355,18 @@ class BerkeleyMapper:
     # initialization & exploration
     # ------------------------------------------------------------------
     def _initialize(self) -> None:
+        if self._seed is not None:
+            try:
+                reason = self._try_seed(self._seed)
+            except MappingError as exc:
+                # A contradiction while adopting the seed indicts the seed,
+                # not the network: start over from scratch.
+                reason = f"seed adoption hit a contradiction: {exc}"
+            if reason is None:
+                self._seeded = True
+                return
+            self._seed_fallback = reason
+            self._reset_model()
         # "The model graph M is initialized with two vertices: the root
         # host-vertex h0 ... and its adjacent switch-vertex." The system
         # model guarantees the mapper host hangs off a switch.
@@ -295,6 +375,177 @@ class BerkeleyMapper:
         self._hosts[h0.host_name] = h0  # type: ignore[index]
         self._link(h0, 0, root, 0)
         self._frontier.append(root)
+
+    def _reset_model(self) -> None:
+        """Drop the model graph for a from-scratch restart after a seed
+        failure. Probe stats and the exploration/merge counters survive —
+        probes already sent were really sent."""
+        self._vertices.clear()
+        self._live.clear()
+        self._hosts.clear()
+        self._frontier.clear()
+        self._mergelist.clear()
+        self._kept_nodes = 0
+
+    # ------------------------------------------------------------------
+    # seeding (delta-aware incremental remap)
+    # ------------------------------------------------------------------
+    def _try_seed(self, seed: MapSeed) -> str | None:
+        """Adopt the clean region of a prior map; return a fallback reason
+        on any obstacle, or ``None`` on success.
+
+        The soundness argument, node by node: a prior node's *witness* is
+        the probe string whose walk identified it. If that route's
+        footprint (every wire end it reads — crossed wires plus the failure
+        pin, see :func:`repro.simulator.path_eval.route_touches`) is
+        disjoint from ``seed.affected``, the route walks exactly as it did
+        when the prior map was built, so the node still exists with the
+        same identity. Likewise per wire: the prior run deduced the wire at
+        prior-map port ``p`` of switch ``u`` from a probe exiting ``u``
+        with turn ``p - entry(u)`` (relative-turn invariance: model indices
+        are ports minus the entry port); if that route is also clean, the
+        wire still hangs where the model says. Clean nodes become explored
+        vertices, clean wires become links, and every kept switch adjacent
+        to anything dropped returns to the frontier with its known indices
+        pre-fed — the explore loop then re-probes only the dirty region.
+        """
+        svc = self._svc
+        crosses = getattr(svc, "route_crosses", None)
+        if crosses is None:
+            return "service cannot correlate routes with wire ends"
+        prior = seed.network
+        h0 = svc.mapper_host
+        if h0 not in prior or not prior.is_host(h0):
+            return "mapper host absent from the prior map"
+        affected = seed.affected
+        order = sorted(prior.nodes)
+
+        # Entry ports (prior-map coordinates) and cleanliness, per node.
+        # When the seed supplies entry ports (it came straight from a prior
+        # run's MapResult) trust the witnesses — the confirmation frontier
+        # and the explore loop's contradiction checks catch anything stale.
+        # Otherwise re-walk each witness over the prior map defensively.
+        pre = seed.entries
+        entries: dict[str, int] = {}
+        clean: dict[str, bool] = {}
+        for name in order:
+            wit = seed.witnesses.get(name)
+            if wit is None:
+                return f"prior map carries no witness for {name}"
+            if prior.is_host(name):
+                if name == h0:
+                    if wit != ():
+                        return "mapper host witness is not empty"
+                elif pre is None:
+                    path = evaluate_route(prior, h0, wit)
+                    if (
+                        path.status is not PathStatus.DELIVERED
+                        or path.delivered_to != name
+                    ):
+                        return f"witness for {name} does not reach it"
+            elif pre is not None:
+                entry = pre.get(name)
+                if entry is None:
+                    return f"prior map carries no entry port for {name}"
+                entries[name] = entry
+            else:
+                path = evaluate_route(prior, h0, wit)
+                if path.status is not PathStatus.STRANDED or path.nodes[-1] != name:
+                    return f"witness for {name} does not reach it"
+                entries[name] = path.traversals[-1].dst.port
+            clean[name] = not affected or not crosses(wit, affected)
+        if not clean[h0]:
+            return "mapper host attachment is inside the dirty region"
+        dirty_count = sum(1 for name in order if not clean[name])
+        if 2 * dirty_count > len(order):
+            # A seed that keeps less than half the map is degenerate: the
+            # explore loop would rediscover the dirty majority from many
+            # boundary switches at once, spawning duplicate vertices whose
+            # merges cost more probes than a cold run. Report it so the
+            # caller restarts from scratch.
+            return (
+                f"dirty region covers {dirty_count} of {len(order)} prior "
+                "nodes; from-scratch is cheaper"
+            )
+
+        # Adopt clean nodes (deterministic order: vertex ids pick merge
+        # representatives and the final switch numbering).
+        made: dict[str, MergedVertex] = {}
+        for name in order:
+            if not clean[name]:
+                continue
+            wit = tuple(seed.witnesses[name])
+            if prior.is_host(name):
+                v = self._new_vertex(_KIND_HOST, wit, host_name=name)
+                self._hosts[name] = v
+            else:
+                v = self._new_vertex(_KIND_SWITCH, wit)
+                v.explored = True
+            made[name] = v
+
+        # Re-link clean wires; anything touching a dropped node or a dirty
+        # wire marks its surviving switch ends as frontier-boundary.
+        boundary: set[str] = set()
+        for wire in sorted(prior.wires, key=lambda w: (w.a, w.b)):
+            ends = (wire.a, wire.b)
+            kept = [e for e in ends if e.node in made]
+            if len(kept) < 2:
+                boundary.update(e.node for e in kept)
+                continue
+            wire_clean = True
+            for end in ends:
+                if prior.is_host(end.node):
+                    # A host's only wire is the last hop of its witness:
+                    # the node's own cleanliness already certifies it.
+                    continue
+                turn = end.port - entries[end.node]
+                if turn == 0:
+                    # The witness entered through this very wire; certified
+                    # by the node check above.
+                    continue
+                probe = tuple(seed.witnesses[end.node]) + (turn,)
+                wire_clean = not crosses(probe, affected)
+                break
+            if not wire_clean:
+                boundary.update(e.node for e in ends)
+                continue
+            u, w = ends
+            self._link(
+                made[u.node],
+                self._seed_index(prior, u, entries),
+                made[w.node],
+                self._seed_index(prior, w, entries),
+            )
+        self._drain_mergelist()
+
+        for name in sorted(boundary):
+            v = made.get(name)
+            if v is not None and v.kind == _KIND_SWITCH:
+                v.explored = False
+                self._frontier.append(v)
+        self._kept_nodes = len(made)
+        self._snapshot()
+
+        if seed.confirm:
+            # The confirmation frontier: one identifying probe per kept
+            # host. Collectively these re-exercise the witness tree of the
+            # kept region in-band; any mismatch means the delta under-
+            # describes reality, and the only sound move is starting over.
+            for name in order:
+                if name == h0 or not clean.get(name) or not prior.is_host(name):
+                    continue
+                if svc.probe_host(tuple(seed.witnesses[name])) != name:
+                    return f"confirmation probe contradicted {name}"
+        return None
+
+    @staticmethod
+    def _seed_index(
+        net: Network, end, entries: dict[str, int]
+    ) -> int:
+        """Model index of a prior-map wire end: port minus entry port."""
+        if net.is_host(end.node):
+            return 0
+        return end.port - entries[end.node]
 
     def _explore(self, v: MergedVertex) -> None:
         plan = self._planner.new_plan()
@@ -585,16 +836,24 @@ class BerkeleyMapper:
         v.dead = True
         self._live.pop(v.vid, None)
 
-    def _build_network(self) -> tuple[Network, dict[int, str]]:
+    def _build_network(
+        self,
+    ) -> tuple[Network, dict[int, str], dict[str, Turns], dict[str, int]]:
         """Convert the merged model graph into a :class:`Network`.
 
         Switch port numbers are the relative indices shifted so the minimum
         used index is 0 — the canonical representative of the
-        per-switch-offset equivalence class the mapper can determine.
+        per-switch-offset equivalence class the mapper can determine. Also
+        records each node's discovery witness (its vertex's probe string)
+        and each switch's witness entry port (model index 0 after the
+        shift), which is what a future run needs to seed itself from this
+        map without re-deriving the coordinate system.
         """
         live = sorted(self._live_vertices(), key=lambda v: v.vid)
         net = Network(default_radix=self._radix)
         names: dict[int, str] = {}
+        witnesses: dict[str, Turns] = {}
+        entry_ports: dict[str, int] = {}
         offsets: dict[int, int] = {}
         counter = 0
         for v in live:
@@ -604,10 +863,12 @@ class BerkeleyMapper:
                         f"two model vertices for host {v.host_name} survived"
                     )
                 net.add_host(v.host_name)  # type: ignore[arg-type]
+                witnesses[v.host_name] = v.probe_string  # type: ignore[index]
             else:
                 name = f"switch-{counter}"
                 counter += 1
                 names[v.vid] = name
+                witnesses[name] = v.probe_string
                 indices = sorted(v.nbrs)
                 if indices:
                     span = indices[-1] - indices[0]
@@ -619,6 +880,7 @@ class BerkeleyMapper:
                     offsets[v.vid] = -indices[0]
                 else:
                     offsets[v.vid] = 0
+                entry_ports[name] = offsets[v.vid]
                 net.add_switch(name, radix=self._radix)
 
         def endpoint(v: MergedVertex, i: int) -> tuple[str, int]:
@@ -643,7 +905,7 @@ class BerkeleyMapper:
                         continue
                     seen.add(key)
                     net.connect(a[0], a[1], b[0], b[1])
-        return net, names
+        return net, names, witnesses, entry_ports
 
     # ------------------------------------------------------------------
     # instrumentation (Figure 8)

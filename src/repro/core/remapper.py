@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
-from repro.core.mapper import BerkeleyMapper, MapResult
+from repro.core.mapper import BerkeleyMapper, MapResult, MapSeed
 from repro.routing.compile_routes import RouteTable, compile_route_tables
 from repro.routing.deadlock import routes_deadlock_free
 from repro.routing.distribute import DistributionReport
@@ -24,9 +24,11 @@ from repro.routing.incremental import distribute_incremental
 from repro.routing.paths import all_pairs_updown_paths
 from repro.routing.updown import orient_updown
 from repro.simulator.collision import CircuitModel, CollisionModel
+from repro.simulator.faults import FaultModel
 from repro.simulator.stack import build_service_stack
 from repro.simulator.timing import MYRINET_TIMING, TimingModel
 from repro.topology.analysis import recommended_search_depth
+from repro.topology.delta import EMPTY_DELTA
 from repro.topology.diff import MapDiff, diff_networks
 from repro.topology.model import Network
 
@@ -50,6 +52,16 @@ class RemapCycle:
     n_routes: int
     distribution: DistributionReport | None
     elapsed_ms: float
+    #: Whether this cycle's map adopted subtrees from the previous cycle.
+    incremental: bool = False
+    #: Why an incremental cycle fell back to from-scratch, if it did
+    #: (``None`` when it seeded successfully or seeding was never planned).
+    seed_fallback: str | None = None
+    #: Probes this cycle avoided versus the last from-scratch baseline
+    #: (0 for unseeded cycles or before a baseline exists).
+    probes_saved: int = 0
+    #: Prior-map nodes adopted intact by this cycle's mapper.
+    subtrees_kept: int = 0
 
     @property
     def changed(self) -> bool:
@@ -82,6 +94,8 @@ class RemapperDaemon:
         service_factory: Callable[[Network, str], object] | None = None,
         mapper_factory: Callable[[object, int], _Mapper] | None = None,
         depth_fn: Callable[[Network, str], int] | None = None,
+        faults: FaultModel | None = None,
+        incremental: bool = False,
     ) -> None:
         self._net = net
         self._mapper_host = mapper_host
@@ -92,9 +106,20 @@ class RemapperDaemon:
         self._service_factory = service_factory
         self._mapper_factory = mapper_factory
         self._depth_fn = depth_fn
+        # ``faults`` is only consulted for delta planning: when the harness
+        # injects a fault model through its service factory, passing the
+        # same object here lets cycle N+1 read the fault-side delta journal
+        # too. ``incremental`` turns seed planning on; every fallback path
+        # degrades to the plain from-scratch cycle and says why.
+        self._faults = faults
+        self._incremental = incremental
         self.history: list[RemapCycle] = []
         self.current_map: Network | None = None
         self.current_tables: dict[str, RouteTable] | None = None
+        self._last_result: MapResult | None = None
+        self._net_epoch: int | None = None
+        self._fault_epoch: int | None = None
+        self._scratch_probes: int | None = None
 
     # ------------------------------------------------------------------
     def _build_service(self) -> object:
@@ -117,6 +142,45 @@ class RemapperDaemon:
             max_explorations=self._max_explorations,
         )
 
+    def _plan_seed(self) -> tuple[MapSeed | None, str | None]:
+        """Build a seed from the previous cycle's map and the delta
+        journals, or explain why this cycle must run from scratch.
+
+        The delta covers ``last map's epoch snapshot .. now``; the bounded
+        journal window, an unbounded entry (probability reconfig) and any
+        *added* connectivity (a plugged cable, a healed wire, a segment
+        merge) all make incremental adoption unsound, so each returns a
+        fallback reason instead of a seed.
+        """
+        prior = self._last_result
+        if prior is None or self._net_epoch is None:
+            return None, "no prior map to seed from"
+        topo = self._net.affected_since(self._net_epoch)
+        if topo is None:
+            return None, "topology delta fell out of the journal window"
+        fault = EMPTY_DELTA
+        if self._faults is not None and self._fault_epoch is not None:
+            fault = self._faults.affected_since(self._fault_epoch)
+            if fault is None:
+                return None, "fault delta fell out of the journal window"
+        delta = topo.merge(fault)
+        if delta.unbounded:
+            return None, "delta is unbounded (not describable by wire ends)"
+        if delta.added:
+            return None, (
+                "connectivity was added; a kept subtree cannot prove a "
+                "wire it never probed does not exist"
+            )
+        return (
+            MapSeed(
+                network=prior.network,
+                witnesses=prior.witnesses,
+                affected=delta.removed,
+                entries=prior.entry_ports,
+            ),
+            None,
+        )
+
     def run_cycle(self) -> RemapCycle:
         """One complete cycle; appends to and returns from ``history``."""
         if self._fixed_depth:
@@ -126,13 +190,46 @@ class RemapperDaemon:
         else:
             depth = recommended_search_depth(self._net, self._mapper_host)
         svc = self._build_service()
-        result = self._build_mapper(svc, depth).run()
+        seed: MapSeed | None = None
+        plan_fallback: str | None = None
+        if self._incremental:
+            seed, plan_fallback = self._plan_seed()
+        # Snapshot the journals *before* mapping: anything that mutates
+        # mid-run lands after these epochs and is charged to the next
+        # cycle's delta, never silently skipped.
+        net_epoch = self._net.topology_epoch
+        fault_epoch = (
+            self._faults.fault_epoch if self._faults is not None else None
+        )
+        mapper = self._build_mapper(svc, depth)
+        if seed is not None:
+            seeder = getattr(mapper, "seed_with", None)
+            if seeder is None:
+                seed, plan_fallback = None, "mapper does not support seeding"
+            else:
+                seeder(seed)
+        result = mapper.run()
         new_map = result.network
+        self._last_result = result
+        self._net_epoch = net_epoch
+        self._fault_epoch = fault_epoch
+        probes_saved = 0
+        if result.seeded:
+            if self._scratch_probes is not None:
+                probes_saved = max(
+                    0, self._scratch_probes - result.stats.total_probes
+                )
+        else:
+            self._scratch_probes = result.stats.total_probes
 
         if self.current_map is None:
             diff = MapDiff(identical=False)
         else:
             diff = diff_networks(self.current_map, new_map)
+
+        seed_fallback: str | None = None
+        if self._incremental and not result.seeded:
+            seed_fallback = result.seed_fallback or plan_fallback
 
         elapsed = result.stats.elapsed_ms
         if diff.identical and self.current_tables is not None:
@@ -145,6 +242,10 @@ class RemapperDaemon:
                 n_routes=sum(len(t) for t in self.current_tables.values()),
                 distribution=None,
                 elapsed_ms=elapsed,
+                incremental=result.seeded,
+                seed_fallback=seed_fallback,
+                probes_saved=probes_saved,
+                subtrees_kept=result.kept_nodes,
             )
             self.history.append(cycle)
             return cycle
@@ -173,6 +274,10 @@ class RemapperDaemon:
             n_routes=sum(len(t) for t in tables.values()),
             distribution=report,
             elapsed_ms=elapsed + report.elapsed_ms,
+            incremental=result.seeded,
+            seed_fallback=seed_fallback,
+            probes_saved=probes_saved,
+            subtrees_kept=result.kept_nodes,
         )
         self.history.append(cycle)
         return cycle

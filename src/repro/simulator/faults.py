@@ -27,8 +27,39 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.simulator.path_eval import PathResult, Traversal
+from repro.topology.delta import (
+    Delta,
+    DeltaJournal,
+    EMPTY_DELTA,
+    Endpoint,
+    UNBOUNDED_DELTA,
+)
 
 __all__ = ["FaultModel", "NO_FAULTS"]
+
+
+def _wire_end_delta(
+    removed_wires: Iterable[frozenset], added_wires: Iterable[frozenset]
+) -> Delta:
+    """Describe a dead-set change as a wire-end delta.
+
+    Dead-wire entries are frozensets of :class:`~repro.topology.model.PortRef`
+    ends. A wire *entering* the dead set removes connectivity at its ends; a
+    wire *leaving* it restores connectivity. An entry whose elements do not
+    carry ``node``/``port`` (the model accepts any frozenset) cannot be
+    localized, so the delta degrades to unbounded rather than under-report.
+    """
+    removed: set[Endpoint] = set()
+    added: set[Endpoint] = set()
+    for pairs, into in ((removed_wires, removed), (added_wires, added)):
+        for pair in pairs:
+            for end in pair:
+                node = getattr(end, "node", None)
+                port = getattr(end, "port", None)
+                if node is None or port is None:
+                    return UNBOUNDED_DELTA
+                into.add((node, port))
+    return Delta(removed=frozenset(removed), added=frozenset(added))
 
 
 @dataclass
@@ -45,6 +76,7 @@ class FaultModel:
             if not 0.0 <= p <= 1.0:
                 raise ValueError("probabilities must be in [0, 1]")
         self._rng = random.Random(self.seed)
+        self._journal = DeltaJournal()
         self._epoch = 0
 
     @property
@@ -60,37 +92,70 @@ class FaultModel:
         """
         return self._epoch
 
-    def _bump_epoch(self) -> None:
-        """The canonical epoch bump: every mutator's last act (SAN012)."""
+    def _bump_epoch(self, delta: Delta = EMPTY_DELTA) -> None:
+        """The canonical epoch bump: every mutator's last act (SAN012).
+
+        ``delta`` journals the wire-end footprint of the mutation (see
+        :mod:`repro.topology.delta`), queryable via :meth:`affected_since`.
+        """
+        self._journal.record(delta)
         self._epoch += 1
+
+    def affected_since(self, epoch: int) -> Delta | None:
+        """Merged delta of every reconfiguration since ``epoch``.
+
+        ``None`` means ``epoch`` predates the bounded journal window and
+        the caller must assume everything changed.
+        """
+        return self._journal.since(epoch, self._epoch)
 
     def set_dead_wires(self, dead_wires: Iterable[frozenset]) -> None:
         """Replace the dead-wire set mid-run (models a cable failing).
 
         The replacement set is materialized before any state moves, so an
         iterable that raises partway through leaves the model (and its
-        epoch) exactly as it was.
+        epoch) exactly as it was. Replacing the set with an equal one is a
+        true no-op: no epoch bump, no journal entry — callers that
+        recompute their dead set wholesale (the chaos applier does, after
+        every event) must not force downstream cache flushes when nothing
+        actually changed.
         """
         new = frozenset(frozenset(pair) for pair in dead_wires)
         for pair in new:
             if not pair:
                 raise ValueError("a dead wire needs at least one wire end")
+        if new == self.dead_wires:
+            return
+        delta = _wire_end_delta(new - self.dead_wires, self.dead_wires - new)
         self.dead_wires = new
-        self._bump_epoch()
+        self._bump_epoch(delta)
 
     def set_drop_prob(self, drop_prob: float) -> None:
-        """Change the silent-loss probability mid-run (epoch-bumping)."""
+        """Change the silent-loss probability mid-run (epoch-bumping).
+
+        Setting the current value again is a no-op (no bump, no journal
+        entry). A real change journals an *unbounded* delta: probability
+        shifts have no wire-end footprint, so structure-reusing consumers
+        must treat the whole prior derivation as suspect.
+        """
         if not 0.0 <= drop_prob <= 1.0:
             raise ValueError("probabilities must be in [0, 1]")
+        if drop_prob == self.drop_prob:
+            return
         self.drop_prob = drop_prob
-        self._bump_epoch()
+        self._bump_epoch(UNBOUNDED_DELTA)
 
     def set_corrupt_prob(self, corrupt_prob: float) -> None:
-        """Change the corruption probability mid-run (epoch-bumping)."""
+        """Change the corruption probability mid-run (epoch-bumping).
+
+        No-op and unbounded-delta semantics match :meth:`set_drop_prob`.
+        """
         if not 0.0 <= corrupt_prob <= 1.0:
             raise ValueError("probabilities must be in [0, 1]")
+        if corrupt_prob == self.corrupt_prob:
+            return
         self.corrupt_prob = corrupt_prob
-        self._bump_epoch()
+        self._bump_epoch(UNBOUNDED_DELTA)
 
     def kills_probe(self, path: PathResult) -> bool:
         """Decide whether this (otherwise successful) probe is lost."""

@@ -21,6 +21,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
+from repro.topology.delta import Endpoint
 from repro.topology.model import HOST_PORT, Network, PortRef
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
@@ -35,6 +36,7 @@ __all__ = [
     "Traversal",
     "PathResult",
     "evaluate_route",
+    "route_touches",
 ]
 
 
@@ -139,6 +141,42 @@ def evaluate_route(
     return result
 
 
+def route_touches(
+    net: Network,
+    h0: str,
+    turns: Iterable[int],
+    endpoints: frozenset[Endpoint] | set[Endpoint],
+) -> bool:
+    """Whether the message path of ``turns`` touches any wire end given.
+
+    The footprint of a route is every wire end its traversals cross *plus*
+    the end its failure (if any) is pinned to: a NO_SUCH_WIRE verdict
+    depends on the computed output port staying unwired, and a
+    NOT_ATTACHED verdict on the source's port 0 staying free — a wire
+    plugged there later changes the answer, so those ends belong to the
+    footprint. A route whose footprint is disjoint from a mutation delta
+    provably evaluates identically before and after the mutation (the walk
+    consults the network only through these ends).
+
+    This is the pure-function form; :meth:`IncrementalPathEvaluator.touches`
+    answers the same question from the trie without re-walking.
+    """
+    seq = tuple(turns)
+    path = evaluate_route(net, h0, seq)
+    for tr in path.traversals:
+        if (tr.src.node, tr.src.port) in endpoints:
+            return True
+        if (tr.dst.node, tr.dst.port) in endpoints:
+            return True
+    if path.status is PathStatus.NOT_ATTACHED:
+        return (h0, HOST_PORT) in endpoints
+    if path.status is PathStatus.NO_SUCH_WIRE:
+        at = path.traversals[-1].dst
+        assert path.failed_at_turn is not None
+        return (at.node, at.port + seq[path.failed_at_turn]) in endpoints
+    return False
+
+
 @dataclass(frozen=True, slots=True)
 class EvalCacheStats:
     """Snapshot of an :class:`IncrementalPathEvaluator`'s counters."""
@@ -148,6 +186,11 @@ class EvalCacheStats:
     invalidations: int = 0
     evaluations: int = 0
     nodes: int = 0
+    #: Surgical (delta-driven) invalidation passes — ``invalidations``
+    #: counts only wholesale flushes.
+    surgical: int = 0
+    #: Trie nodes dropped across all surgical passes.
+    nodes_dropped: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -208,6 +251,7 @@ class _TrieNode:
         "loopback_memo",
         "fwd_blocked",
         "last_rev",
+        "dep",
     )
 
     def __init__(
@@ -220,6 +264,7 @@ class _TrieNode:
         failed_at: int | None,
         nodes: tuple[str, ...],
         traversals: tuple[Traversal, ...],
+        dep: tuple[Endpoint, ...] = (),
     ) -> None:
         self.children: dict[int, _TrieNode] = {}
         self.current = current
@@ -229,6 +274,17 @@ class _TrieNode:
         self.failed_at = failed_at
         self.nodes = nodes
         self.traversals = traversals
+        # The wire ends *this node's own step* reads from the network: the
+        # crossed wire's two ends for an in-flight extension, the probed
+        # (node, out-port) for a NO_SUCH_WIRE verdict, the source's port 0
+        # for a root. Ancestors carry the deps of earlier hops, so a
+        # subtree is stale w.r.t. a mutation delta exactly when some node
+        # on its root path has a dep in the delta — which is what the
+        # surgical invalidation DFS checks. ILLEGAL_TURN and
+        # HIT_HOST_TOO_SOON read only radix/kind (immutable while the node
+        # exists; removal is covered by the ancestor that crossed into the
+        # node), so their dep is empty.
+        self.dep = dep
         # Retrace of ``traversals`` (each hop reversed, in backward order),
         # built incrementally at extension time so the loopback tuple is a
         # plain concat instead of m fresh Traversal constructions. Only
@@ -253,6 +309,21 @@ class _TrieNode:
         self.last_rev: int | None = None
 
 
+def _collect_subtree(node: _TrieNode, into: set[int]) -> None:
+    """Record the identity of every node in a subtree being dropped.
+
+    The ids let the hint table be pruned precisely (a hint is stale iff it
+    points at a dropped node); the set's size is the drop count. Collected
+    and consumed within one invalidation pass, before any allocation could
+    reuse an address.
+    """
+    stack = [node]
+    while stack:
+        n = stack.pop()
+        into.add(id(n))
+        stack.extend(n.children.values())
+
+
 class IncrementalPathEvaluator:
     """Prefix-trie cache over :func:`evaluate_route`.
 
@@ -262,11 +333,19 @@ class IncrementalPathEvaluator:
     That is exactly the access pattern of the mapper's explore loop, which
     extends known probe strings one turn at a time.
 
-    Correctness is guarded by epoch counters: the whole trie is dropped
-    whenever ``net.topology_epoch`` or (if a fault model is attached)
-    ``faults.fault_epoch`` moves, so a mutated network or a mid-run cable
-    failure can never serve stale paths. Results are byte-identical to the
-    pure function — including the ``ValueError`` on a non-host source.
+    Correctness is guarded by epoch counters plus the owners' delta
+    journals. When ``net.topology_epoch`` moves, the evaluator asks the
+    network *which wire ends* changed (:meth:`Network.affected_since`) and
+    drops only the subtrees whose cached walk touched one of them — each
+    trie node records the ends its own step read (``_TrieNode.dep``), so
+    "no node on the root path has an affected dep" proves the whole cached
+    walk still evaluates identically. Only when the journal cannot answer
+    (window exceeded) does the evaluator fall back to the wholesale flush.
+    A ``faults.fault_epoch`` move needs no invalidation at all: cached
+    walks never consult the fault model — kill decisions are drawn fresh
+    per probe by the services — so only the epoch cursor advances. Results
+    remain byte-identical to the pure function — including the
+    ``ValueError`` on a non-host source.
     """
 
     def __init__(
@@ -288,8 +367,9 @@ class IncrementalPathEvaluator:
         # Sibling-batch hints: ``(h0, shared prefix)`` -> trie node after
         # consuming that prefix, primed by :meth:`warm_siblings`. A walk of
         # ``prefix + (t,)`` then costs one dict lookup plus one child step
-        # instead of an O(depth) descent. Valid exactly as long as the trie
-        # itself (cleared on every invalidation).
+        # instead of an O(depth) descent. A hint lives as long as its node:
+        # wholesale invalidation clears the table, surgical invalidation
+        # prunes exactly the hints pointing into dropped subtrees.
         self._hints: dict[tuple[str, tuple[int, ...]], _TrieNode] = {}
         # Flat (node, port) -> (far end, far is host, far radix) memo,
         # filled on demand (None for unwired ports). Plain-tuple keys hash
@@ -306,6 +386,8 @@ class IncrementalPathEvaluator:
         self._misses = 0
         self._invalidations = 0
         self._evaluations = 0
+        self._surgical = 0
+        self._nodes_dropped = 0
 
     @property
     def stats(self) -> EvalCacheStats:
@@ -315,6 +397,8 @@ class IncrementalPathEvaluator:
             invalidations=self._invalidations,
             evaluations=self._evaluations,
             nodes=self._n_nodes,
+            surgical=self._surgical,
+            nodes_dropped=self._nodes_dropped,
         )
 
     def invalidate(self) -> None:
@@ -328,12 +412,95 @@ class IncrementalPathEvaluator:
         if self._faults is not None:
             self._fault_epoch = self._faults.fault_epoch
 
-    def _fresh(self) -> bool:
-        if self._net.topology_epoch != self._topo_epoch:
-            return False
-        if self._faults is not None and self._faults.fault_epoch != self._fault_epoch:
-            return False
-        return True
+    def invalidate_endpoints(
+        self, endpoints: frozenset[Endpoint] | set[Endpoint]
+    ) -> int:
+        """Drop exactly the cached walks that touched the given wire ends.
+
+        A subtree survives iff no node on its root path has a ``dep`` in
+        ``endpoints`` — sound because a walk reads the network only
+        through its deps (see ``_TrieNode.dep``). Sibling hints that point
+        into a dropped subtree are pruned with it; adjacency memos are
+        popped for exactly the affected keys (a changed end may have gone
+        from wired to free or vice versa — the memo caches both answers).
+        Returns the number of trie nodes dropped.
+        """
+        dropped_ids: set[int] = set()
+        for h0 in list(self._roots):
+            root = self._roots[h0]
+            if any(e in endpoints for e in root.dep):
+                _collect_subtree(root, dropped_ids)
+                del self._roots[h0]
+                continue
+            stack = [root]
+            while stack:
+                node = stack.pop()
+                children = node.children
+                for turn in list(children):
+                    child = children[turn]
+                    if any(e in endpoints for e in child.dep):
+                        _collect_subtree(child, dropped_ids)
+                        del children[turn]
+                    else:
+                        stack.append(child)
+        dropped = len(dropped_ids)
+        if dropped:
+            self._n_nodes -= dropped
+            if self._hints:
+                self._hints = {
+                    k: v
+                    for k, v in self._hints.items()
+                    if id(v) not in dropped_ids
+                }
+        for key in endpoints:
+            self._adj.pop(key, None)
+        self._surgical += 1
+        self._nodes_dropped += dropped
+        return dropped
+
+    def _refresh(self) -> None:
+        """Bring the cache up to the owners' epochs before a walk.
+
+        Topology moves are resolved surgically through the network's delta
+        journal; an unanswerable (out-of-window) or unbounded delta falls
+        back to the wholesale flush. Fault moves advance the cursor only —
+        cached walks are fault-independent by construction.
+        """
+        net = self._net
+        if net.topology_epoch != self._topo_epoch:
+            delta = net.affected_since(self._topo_epoch)
+            if delta is None or delta.unbounded:
+                self.invalidate()
+                return
+            if delta.removed or delta.added:
+                self.invalidate_endpoints(delta.endpoints)
+            self._topo_epoch = net.topology_epoch
+        if self._faults is not None:
+            self._fault_epoch = self._faults.fault_epoch
+
+    def touches(
+        self,
+        h0: str,
+        turns: Iterable[int],
+        endpoints: frozenset[Endpoint] | set[Endpoint],
+    ) -> bool:
+        """Trie-backed :func:`route_touches`: does this route's footprint
+        intersect the given wire ends?
+
+        Walks (and therefore caches) the route like any evaluation, then
+        checks every crossed wire end plus the failure pin (the node's own
+        ``dep`` — for absorbing verdicts this is the end the failure
+        depends on). Purely local computation: no probe is charged.
+        """
+        node = self._walk(h0, tuple(turns))
+        for tr in node.traversals:
+            if (tr.src.node, tr.src.port) in endpoints:
+                return True
+            if (tr.dst.node, tr.dst.port) in endpoints:
+                return True
+        if node.status is not None:
+            return any(e in endpoints for e in node.dep)
+        return False
 
     def _root(self, h0: str) -> _TrieNode:
         root = self._roots.get(h0)
@@ -353,6 +520,7 @@ class IncrementalPathEvaluator:
                 failed_at=None,
                 nodes=(h0,),
                 traversals=(),
+                dep=((h0, HOST_PORT),),
             )
         else:
             root = _TrieNode(
@@ -363,6 +531,7 @@ class IncrementalPathEvaluator:
                 failed_at=None,
                 nodes=(h0, attach.node),
                 traversals=(Traversal(PortRef(h0, HOST_PORT), attach),),
+                dep=((h0, HOST_PORT), (attach.node, attach.port)),
             )
             root.rev_traversals = (Traversal(attach, PortRef(h0, HOST_PORT)),)
         self._roots[h0] = root
@@ -415,6 +584,7 @@ class IncrementalPathEvaluator:
                         failed_at=i,
                         nodes=parent.nodes,
                         traversals=parent.traversals,
+                        dep=(key,),
                     )
                 else:
                     dst, dst_is_host, dst_radix = far
@@ -427,6 +597,7 @@ class IncrementalPathEvaluator:
                         failed_at=None,
                         nodes=parent.nodes + (dst.node,),
                         traversals=parent.traversals + (Traversal(src, dst),),
+                        dep=(key, (dst.node, dst.port)),
                     )
                     child.rev_traversals = (
                         Traversal(dst, src),
@@ -464,9 +635,8 @@ class IncrementalPathEvaluator:
         return child
 
     def _walk(self, h0: str, seq: tuple[int, ...]) -> _TrieNode:
-        if not self._fresh():
-            self.invalidate()
-        elif seq and self._hints:
+        self._refresh()
+        if seq and self._hints:
             node = self._hints.get((h0, seq[:-1]))
             if node is not None:
                 self._hits += 1
@@ -516,9 +686,8 @@ class IncrementalPathEvaluator:
         unbatched path. Returns the number of siblings the hint covers.
         """
         seq = tuple(prefix)
-        if not self._fresh():
-            self.invalidate()
-        elif (h0, seq) in self._hints:
+        self._refresh()
+        if (h0, seq) in self._hints:
             # Re-primed mid-run (the caller saw a hit): the prefix node is
             # already hinted, nothing to walk.
             return sum(1 for _ in turns)

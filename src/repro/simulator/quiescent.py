@@ -37,11 +37,13 @@ from repro.simulator.path_eval import (
     PathStatus,
     ProbeInfo,
     evaluate_route,
+    route_touches,
 )
 from repro.simulator.probes import ProbeKind, ProbeRecord, ProbeStats
 from repro.simulator.stack import ProbeContext, ProbeLayer, StatsLayer
 from repro.simulator.timing import MYRINET_TIMING, TimingModel
 from repro.simulator.turns import Turns, switch_probe_turns, validate_turns
+from repro.topology.delta import Endpoint
 from repro.topology.model import Network
 
 __all__ = ["QuiescentProbeService"]
@@ -387,6 +389,26 @@ class QuiescentProbeService:
         """
         if self._evaluator is not None:
             self._evaluator.warm_siblings(self.mapper, tuple(prefix), turns)
+
+    def route_crosses(
+        self, turns: Turns, endpoints: frozenset[Endpoint] | set[Endpoint]
+    ) -> bool:
+        """Whether the route's footprint intersects the given wire ends.
+
+        The link this models: the paper's environment reports a fault as a
+        wire-level event, and an incremental remapper must correlate its
+        recorded probe paths against that report to decide which deductions
+        still stand. The correlation is *local* — it consults the cached
+        walk (or re-walks the pure function), sends nothing, and charges no
+        probe to the stats; see docs/INCREMENTAL.md for why this deviation
+        from the probe-only discipline is sound. Turn values are not
+        alphabet-checked: the caller correlates prior-map port arithmetic,
+        not a sendable probe string.
+        """
+        seq = tuple(turns)
+        if self._evaluator is not None:
+            return self._evaluator.touches(self.mapper, seq, endpoints)
+        return route_touches(self.net, self.mapper, seq, endpoints)
 
     @property
     def eval_cache_stats(self) -> EvalCacheStats | None:

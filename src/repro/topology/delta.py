@@ -1,0 +1,153 @@
+"""Delta journal: what changed between two epochs, as a wire-end set.
+
+``Network`` and ``FaultModel`` bump a monotone epoch counter on every
+mutation; derived caches (the path-evaluation trie, a seeded remap) key
+their validity on it. A bare counter only supports the wholesale answer
+"something changed, drop everything". This module records *what* changed:
+every ``_bump_epoch`` call journals a :class:`Delta` describing the wire
+ends whose connectivity the mutation touched, and a consumer holding an
+older epoch asks :meth:`DeltaJournal.since` for the merged delta covering
+the gap.
+
+The contract (documented for consumers in ``docs/INCREMENTAL.md``):
+
+- ``removed`` — wire ends whose connectivity was taken away (a cable cut,
+  a node unplugged, a wire entering the dead set). Any cached structure
+  whose derivation crossed such an end is stale.
+- ``added`` — wire ends that gained connectivity (a cable plugged, a wire
+  leaving the dead set). Cached *absences* (a memoized NO_SUCH_WIRE, a
+  pruned search window) keyed on such an end are stale.
+- ``unbounded`` — the mutation cannot be described by a wire set (e.g. a
+  fault-probability change). Consumers must treat the whole derived
+  structure as suspect.
+- ``since`` returning ``None`` — the requested epoch has fallen out of the
+  journal's bounded window; same consequence as ``unbounded``.
+
+A delta never under-reports: every mutator journals at least the ends it
+touched, so "my footprint is disjoint from the delta" is a sound proof of
+freshness. Over-reporting (journaling ends that did not actually change)
+costs only wasted invalidation, never correctness.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = [
+    "Delta",
+    "DeltaJournal",
+    "EMPTY_DELTA",
+    "Endpoint",
+    "UNBOUNDED_DELTA",
+]
+
+#: A wire end as a plain ``(node, port)`` tuple — the same flat key shape
+#: the evaluator's adjacency memo uses, so delta sets and cache keys meet
+#: without conversion.
+Endpoint = tuple[str, int]
+
+
+@dataclass(frozen=True, slots=True)
+class Delta:
+    """The wire-end footprint of one mutation (or a merged run of them)."""
+
+    removed: frozenset[Endpoint] = field(default_factory=frozenset)
+    added: frozenset[Endpoint] = field(default_factory=frozenset)
+    unbounded: bool = False
+
+    @property
+    def empty(self) -> bool:
+        return not (self.removed or self.added or self.unbounded)
+
+    @property
+    def endpoints(self) -> frozenset[Endpoint]:
+        """Every end touched in either direction (the invalidation keyset)."""
+        return self.removed | self.added
+
+    def merge(self, other: "Delta") -> "Delta":
+        """The footprint of applying ``self`` then ``other``.
+
+        Set union is sound even when the same end is removed and later
+        re-added: the end stays in both sets, and a consumer that saw the
+        state *before* the pair must still re-derive anything that touched
+        it (the wire there may now lead somewhere else).
+        """
+        if other.empty:
+            return self
+        if self.empty:
+            return other
+        return Delta(
+            removed=self.removed | other.removed,
+            added=self.added | other.added,
+            unbounded=self.unbounded or other.unbounded,
+        )
+
+
+#: Shared no-change delta (node additions, metadata-only mutations).
+EMPTY_DELTA = Delta()
+
+#: Shared "not describable by wires" delta.
+UNBOUNDED_DELTA = Delta(unbounded=True)
+
+
+def merge_deltas(deltas: Iterable[Delta]) -> Delta:
+    """Fold :meth:`Delta.merge` over a sequence (empty input → no change)."""
+    out = EMPTY_DELTA
+    for d in deltas:
+        out = out.merge(d)
+    return out
+
+
+class DeltaJournal:
+    """Bounded log of per-epoch deltas, indexed by epoch number.
+
+    Entry ``i`` of the log describes the mutation that moved the owner's
+    epoch from ``base + i`` to ``base + i + 1``. The log is bounded: once
+    ``maxlen`` entries accumulate, the oldest are discarded and ``base``
+    advances, so a consumer whose epoch predates the window gets ``None``
+    from :meth:`since` and must fall back to a full rebuild. The bound
+    keeps long-lived owners (a network mutated thousands of times by a
+    chaos campaign) at O(window) memory regardless of lifetime.
+    """
+
+    __slots__ = ("_base", "_entries", "_maxlen")
+
+    def __init__(self, *, maxlen: int = 256, base: int = 0) -> None:
+        if maxlen < 1:
+            raise ValueError("journal window must hold at least one entry")
+        self._maxlen = maxlen
+        self._base = base
+        self._entries: deque[Delta] = deque()
+
+    @property
+    def window_base(self) -> int:
+        """The oldest epoch :meth:`since` can still answer for."""
+        return self._base
+
+    def record(self, delta: Delta) -> None:
+        """Journal the delta of the mutation that is bumping the epoch."""
+        self._entries.append(delta)
+        if len(self._entries) > self._maxlen:
+            self._entries.popleft()
+            self._base += 1
+
+    def since(self, epoch: int, current_epoch: int) -> Delta | None:
+        """Merged delta covering ``epoch .. current_epoch``, if in window.
+
+        ``current_epoch`` is the owner's live counter; the caller passes it
+        so the journal can verify it has journaled every bump (a defensive
+        check — a gap means some mutation bypassed the journal, and the
+        only sound answer is "unknown", i.e. ``None``).
+        """
+        if epoch == current_epoch:
+            return EMPTY_DELTA
+        if not self._base <= epoch < current_epoch:
+            return None
+        if self._base + len(self._entries) != current_epoch:
+            return None
+        start = epoch - self._base
+        return merge_deltas(
+            d for i, d in enumerate(self._entries) if i >= start
+        )

@@ -20,6 +20,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping
 
+from repro.topology.delta import Delta, DeltaJournal, EMPTY_DELTA
+
 __all__ = [
     "HOST_PORT",
     "SWITCH_RADIX",
@@ -130,10 +132,18 @@ class Network:
         self._wires: dict[int, Wire] = {}
         self._port_map: dict[PortRef, int] = {}
         self._next_wire_key = 0
+        self._journal = DeltaJournal()
         self._epoch = 0
 
-    def _bump_epoch(self) -> None:
-        """The canonical epoch bump: every mutator's last act (SAN012)."""
+    def _bump_epoch(self, delta: Delta = EMPTY_DELTA) -> None:
+        """The canonical epoch bump: every mutator's last act (SAN012).
+
+        ``delta`` is the wire-end footprint of the mutation being
+        committed; it is journaled under the epoch being closed, so
+        consumers holding an older epoch can learn *what* changed (see
+        :meth:`affected_since`) instead of only *that* something changed.
+        """
+        self._journal.record(delta)
         self._epoch += 1
 
     # ------------------------------------------------------------------
@@ -176,7 +186,10 @@ class Network:
         self._wires[wire.key] = wire
         self._port_map[ra] = wire.key
         self._port_map[rb] = wire.key
-        self._bump_epoch()
+        delta = Delta(
+            added=frozenset({(ra.node, ra.port), (rb.node, rb.port)})
+        )
+        self._bump_epoch(delta)
         return wire
 
     def disconnect(self, wire: Wire) -> None:
@@ -186,7 +199,15 @@ class Network:
             raise TopologyError(f"wire {wire} not in network")
         del self._port_map[stored.a]
         del self._port_map[stored.b]
-        self._bump_epoch()
+        delta = Delta(
+            removed=frozenset(
+                {
+                    (stored.a.node, stored.a.port),
+                    (stored.b.node, stored.b.port),
+                }
+            )
+        )
+        self._bump_epoch(delta)
 
     def remove_node(self, name: str) -> None:
         """Remove a node and every wire incident on it."""
@@ -195,8 +216,14 @@ class Network:
             raise TopologyError(f"no such node: {name}")
         for wire in list(self.wires_of(name)):
             self.disconnect(wire)
+        # The disconnects above journaled the wired ends; this final delta
+        # covers the *unwired* ones too, so caches keyed on the node's mere
+        # existence (e.g. a memoized "source host not attached") also drop.
+        delta = Delta(
+            removed=frozenset((name, port) for port in range(info.radix))
+        )
         del self._nodes[name]
-        self._bump_epoch()
+        self._bump_epoch(delta)
 
     # ------------------------------------------------------------------
     # queries
@@ -214,6 +241,16 @@ class Network:
         decide whether their cached view of the network is still valid.
         """
         return self._epoch
+
+    def affected_since(self, epoch: int) -> Delta | None:
+        """The merged wire-end delta of every mutation since ``epoch``.
+
+        Returns ``None`` when ``epoch`` has fallen out of the bounded
+        journal window — the caller must then rebuild from scratch, which
+        is also the only sound interpretation. See
+        :mod:`repro.topology.delta` for the delta contract.
+        """
+        return self._journal.since(epoch, self._epoch)
 
     def kind(self, name: str) -> NodeKind:
         return self._info(name).kind

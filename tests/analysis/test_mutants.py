@@ -58,8 +58,10 @@ def test_deleted_epoch_bump_fires_san012(tmp_path, capsys):
     assert "self._bump_epoch()" in source
     # Remove the bump from exactly one mutator: disconnect().
     head, mid = source.split("def disconnect", 1)
-    assert mid.count("self._bump_epoch()") >= 1
-    mutated = head + "def disconnect" + mid.replace("self._bump_epoch()", "pass", 1)
+    assert mid.count("self._bump_epoch(delta)") >= 1
+    mutated = (
+        head + "def disconnect" + mid.replace("self._bump_epoch(delta)", "pass", 1)
+    )
     copy = install_copy(tmp_path, "topology/model.py", mutated)
     code, out = run_cli(copy, capsys)
     assert code == 1
@@ -73,7 +75,7 @@ def test_deleted_fault_epoch_bump_fires_san012(tmp_path, capsys):
     source = (SRC / "simulator" / "faults.py").read_text()
     head, mid = source.split("def set_drop_prob", 1)
     mutated = head + "def set_drop_prob" + mid.replace(
-        "self._bump_epoch()", "pass", 1
+        "self._bump_epoch(UNBOUNDED_DELTA)", "pass", 1
     )
     copy = install_copy(tmp_path, "simulator/faults.py", mutated)
     code, out = run_cli(copy, capsys)

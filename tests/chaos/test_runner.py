@@ -161,7 +161,55 @@ class TestCampaign:
 
     def test_demo_campaign_shape(self):
         config = demo_campaign()
-        assert config.n_cells == 60  # the committed acceptance grid
-        assert len(config.scenarios) == 20
-        assert len({s.name for s in config.scenarios}) == 20
+        assert config.n_cells == 63  # the committed acceptance grid
+        assert len(config.scenarios) == 21
+        assert len({s.name for s in config.scenarios}) == 21
         assert all(s.seed for s in config.scenarios)
+
+
+class TestIncrementalArm:
+    def test_incremental_cell_matches_plain_verdicts(self):
+        scenario = Scenario("inc-cut", (cut(1, "ring-s2", 1),), seed=7)
+        plain = run_cell(scenario, RING6, 0, check_determinism=False)
+        seeded = run_cell(
+            scenario, RING6, 0, check_determinism=False, incremental=True
+        )
+        assert plain.passed and seeded.passed
+        assert {v.oracle: v.ok for v in plain.verdicts} == {
+            v.oracle: v.ok for v in seeded.verdicts
+        }
+
+    def test_incremental_cell_is_deterministic(self):
+        scenario = Scenario("inc-det", (cut(1, "ring-s3", 0),), seed=9)
+        cell = run_cell(scenario, RING6, 1, incremental=True)
+        assert cell.passed  # includes the two-runs-identical verdict
+
+    def test_promoted_fallback_scenario_green_both_arms(self):
+        # The heal event adds connectivity mid-campaign: the incremental
+        # arm must fall back to from-scratch for that cycle and still
+        # converge to passing verdicts.
+        scenario = next(
+            s
+            for s in demo_campaign().scenarios
+            if s.name == "double-cut-then-partial-heal"
+        )
+        for incremental in (False, True):
+            cell = run_cell(
+                scenario,
+                RING6,
+                0,
+                check_determinism=False,
+                incremental=incremental,
+            )
+            assert cell.passed, (incremental, cell.failing)
+
+    def test_config_carries_the_incremental_flag(self):
+        config = CampaignConfig(
+            "inc",
+            scenarios=(Scenario("a", (), seed=1),),
+            topologies=(RING6,),
+            seeds=(0,),
+            incremental=True,
+        )
+        again = campaign_config_from_dict(campaign_config_to_dict(config))
+        assert again == config and again.incremental

@@ -53,6 +53,7 @@ _mutating_ops = st.one_of(
     st.tuples(st.just("faults"), st.integers(min_value=0, max_value=10_000)),
     st.tuples(st.just("responders"), st.integers(min_value=0, max_value=10_000)),
     st.tuples(st.just("cut_wire"), st.integers(min_value=0, max_value=10_000)),
+    st.tuples(st.just("plug_wire"), st.integers(min_value=0, max_value=10_000)),
 )
 
 _collisions = st.sampled_from(
@@ -120,6 +121,21 @@ def _apply(op, payload, cached, pure) -> None:
         wires = net.wires
         if wires:
             net.disconnect(random.Random(payload).choice(wires))
+    elif op == "plug_wire":
+        # Added connectivity invalidates cached *absences* (memoized
+        # NO_SUCH_WIRE walks) — the surgical path must drop exactly those.
+        free = [
+            (name, port)
+            for name in sorted(net.switches)
+            for port in net.free_ports(name)
+        ]
+        pairs = [(a, b) for a in free for b in free if a[0] != b[0]]
+        if pairs:
+            (an, ap), (bn, bp) = random.Random(payload).choice(pairs)
+            try:
+                net.connect(an, ap, bn, bp)
+            except TopologyError:
+                pass
     else:  # pragma: no cover - strategy restricts ops
         raise AssertionError(op)
 

@@ -66,13 +66,16 @@ class TestEvaluate:
 
 
 class TestInvalidation:
-    def test_topology_mutation_invalidates(self, now_c):
+    def test_topology_mutation_invalidates_surgically(self, now_c):
         ev = IncrementalPathEvaluator(now_c)
         before = ev.evaluate("C-n00", (5, 1))
         wire = next(iter(now_c.wires))
         now_c.disconnect(wire)
         after = ev.evaluate("C-n00", (5, 1))
-        assert ev.stats.invalidations == 1
+        # The delta journal localizes the cut: a surgical pass, never a
+        # wholesale flush.
+        assert ev.stats.invalidations == 0
+        assert ev.stats.surgical >= 1
         want = evaluate_route(now_c, "C-n00", (5, 1))
         assert (after.status, after.delivered_to) == (
             want.status,
@@ -83,14 +86,44 @@ class TestInvalidation:
         now_c.connect(end_a.node, end_a.port, end_b.node, end_b.port)
         assert before.status is PathStatus.DELIVERED or True
 
-    def test_fault_epoch_invalidates(self, now_c):
+    def test_unrelated_cut_keeps_cached_walks(self, now_c):
+        ev = IncrementalPathEvaluator(now_c)
+        ev.evaluate("C-n00", (5, 1))
+        nodes = ev.stats.nodes
+        # Cut a wire the cached walk never crossed: the subtree survives.
+        path = evaluate_route(now_c, "C-n00", (5, 1))
+        crossed = {t.src for t in path.traversals} | {
+            t.dst for t in path.traversals
+        }
+        wire = next(
+            w for w in now_c.wires if w.a not in crossed and w.b not in crossed
+        )
+        now_c.disconnect(wire)
+        ev.evaluate("C-n00", (5, 1))
+        assert ev.stats.nodes == nodes
+        assert ev.stats.nodes_dropped == 0
+        end_a, end_b = wire.a, wire.b
+        now_c.connect(end_a.node, end_a.port, end_b.node, end_b.port)
+
+    def test_fault_reconfig_is_cache_transparent(self, now_c):
         faults = FaultModel()
         ev = IncrementalPathEvaluator(now_c, faults=faults)
         ev.evaluate("C-n00", (5, 1))
-        assert ev.stats.nodes > 0
-        faults.set_dead_wires([])
-        ev.evaluate("C-n00", (5, 1))
-        assert ev.stats.invalidations == 1
+        nodes = ev.stats.nodes
+        assert nodes > 0
+        wire = next(iter(now_c.wires))
+        faults.set_dead_wires([frozenset((wire.a, wire.b))])
+        got = ev.evaluate("C-n00", (5, 1))
+        # Cached walks never consult the fault model (kill decisions are
+        # drawn per probe by the services), so a real dead-set change
+        # flushes nothing and the path answer is unchanged.
+        assert ev.stats.invalidations == 0
+        assert ev.stats.nodes == nodes
+        want = evaluate_route(now_c, "C-n00", (5, 1))
+        assert (got.status, got.delivered_to) == (
+            want.status,
+            want.delivered_to,
+        )
 
     def test_explicit_invalidate_clears_nodes(self, now_c):
         ev = IncrementalPathEvaluator(now_c)

@@ -71,12 +71,43 @@ class TestEpochMutators:
         assert faults.fault_epoch == 3
         assert faults.active
 
-    def test_setting_same_value_still_bumps(self):
-        """A reconfiguration is an event even if the value is unchanged —
-        cheaper than comparing, and over-invalidation is always safe."""
-        faults = FaultModel(drop_prob=0.5)
+    def test_noop_mutations_are_bump_free(self, two_switch_net):
+        """Setting the value already in place is a true no-op: no epoch
+        bump, no journal entry — a wholesale applier recomputing its dead
+        set must not force downstream cache flushes (regression: these
+        used to bump unconditionally)."""
+        wire = two_switch_net.wire_at("s0", 4)
+        dead = frozenset((wire.a, wire.b))
+        faults = FaultModel(drop_prob=0.5, dead_wires=frozenset({dead}))
         faults.set_drop_prob(0.5)
-        assert faults.fault_epoch == 1
+        faults.set_corrupt_prob(0.0)
+        faults.set_dead_wires({dead})
+        faults.set_dead_wires([(wire.a, wire.b)])  # same set, new spelling
+        assert faults.fault_epoch == 0
+        assert faults.affected_since(0).empty
+
+    def test_real_mutations_journal_their_footprint(self, two_switch_net):
+        wire = two_switch_net.wire_at("s0", 4)
+        dead = frozenset((wire.a, wire.b))
+        faults = FaultModel()
+        faults.set_dead_wires({dead})
+        delta = faults.affected_since(0)
+        assert delta.removed == {
+            (wire.a.node, wire.a.port),
+            (wire.b.node, wire.b.port),
+        }
+        assert not delta.added and not delta.unbounded
+        faults.set_dead_wires([])
+        delta = faults.affected_since(1)
+        assert delta.added == {
+            (wire.a.node, wire.a.port),
+            (wire.b.node, wire.b.port),
+        }
+        # Probability shifts have no wire-end footprint: unbounded.
+        faults.set_drop_prob(0.25)
+        assert faults.affected_since(2).unbounded
+        # An epoch that fell out of the journal window answers None.
+        assert faults.affected_since(-1) is None
 
     def test_failed_mutation_leaves_state_and_epoch_untouched(self):
         faults = FaultModel(drop_prob=0.5)

@@ -136,10 +136,41 @@ class TestScaleSuite:
         assert doc["benchmarks"]["b"]["repeats"] == 3
 
 
+class TestRemapSuite:
+    """The incremental-remap arms and the committed acceptance numbers."""
+
+    def test_both_arms_registered_and_quick_safe(self, harness):
+        assert set(harness.REMAP_SUITE) == {
+            "remap_single_cut_full_now",
+            "remap_single_cut_fattree8",
+        }
+        # CI gates on --quick: both arms must actually run there.
+        assert not set(harness.REMAP_SUITE) & harness.SLOW_BENCHES
+
+    def test_committed_baseline_hits_the_acceptance_ratios(self):
+        """The headline acceptance numbers: one cable cut on the full NOW
+        remaps with >=10x fewer probes and >=5x less wall-clock than
+        from-scratch, and the committed baseline proves it."""
+        doc = json.loads(
+            (REPO_ROOT / "benchmarks" / "BENCH_remap.json").read_text()
+        )
+        for name, entry in doc["benchmarks"].items():
+            extra = entry["extra"]
+            assert extra["probe_ratio"] >= 10.0, name
+            assert extra["wall_ratio"] >= 5.0, name
+            assert extra["subtrees_kept"] > 0, name
+            assert extra["probes"] < extra["scratch_probes"], name
+
+
 class TestCommittedBaselines:
     @pytest.mark.parametrize(
         "name",
-        ["BENCH_micro.json", "BENCH_mapping.json", "BENCH_scale.json"],
+        [
+            "BENCH_micro.json",
+            "BENCH_mapping.json",
+            "BENCH_scale.json",
+            "BENCH_remap.json",
+        ],
     )
     def test_baseline_is_committed_and_well_formed(self, name):
         doc = json.loads((REPO_ROOT / "benchmarks" / name).read_text())

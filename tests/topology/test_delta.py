@@ -1,0 +1,140 @@
+"""Delta-journal unit tests: the contract every incremental consumer
+leans on (see docs/INCREMENTAL.md).
+
+The fault-side journal is covered in tests/simulator/test_faults.py; this
+module pins the primitives (`Delta`, `DeltaJournal`) and the topology-side
+journaling through `Network.affected_since`.
+"""
+
+import pytest
+
+from repro.topology.delta import (
+    Delta,
+    DeltaJournal,
+    EMPTY_DELTA,
+    UNBOUNDED_DELTA,
+    merge_deltas,
+)
+from repro.topology.model import Network
+
+
+def _net() -> Network:
+    net = Network()
+    net.add_switch("s0", radix=4)
+    net.add_switch("s1", radix=4)
+    net.add_host("h0")
+    net.connect("h0", 0, "s0", 0)
+    net.connect("s0", 1, "s1", 1)
+    return net
+
+
+class TestDelta:
+    def test_empty_and_endpoints(self):
+        assert EMPTY_DELTA.empty
+        assert not UNBOUNDED_DELTA.empty
+        d = Delta(removed=frozenset({("s0", 1)}), added=frozenset({("s1", 2)}))
+        assert not d.empty
+        assert d.endpoints == {("s0", 1), ("s1", 2)}
+
+    def test_merge_unions_both_directions(self):
+        """A remove-then-re-add keeps the end in both sets: a consumer from
+        before the pair must still re-derive anything that touched it."""
+        cut = Delta(removed=frozenset({("s0", 1), ("s1", 1)}))
+        plug = Delta(added=frozenset({("s0", 1), ("s1", 1)}))
+        merged = cut.merge(plug)
+        assert merged.removed == merged.added == {("s0", 1), ("s1", 1)}
+        assert not merged.unbounded
+
+    def test_merge_short_circuits_on_empty(self):
+        d = Delta(removed=frozenset({("s0", 1)}))
+        assert d.merge(EMPTY_DELTA) is d
+        assert EMPTY_DELTA.merge(d) is d
+
+    def test_unbounded_is_sticky_through_merges(self):
+        d = Delta(removed=frozenset({("s0", 1)}))
+        assert d.merge(UNBOUNDED_DELTA).unbounded
+        assert merge_deltas([EMPTY_DELTA, UNBOUNDED_DELTA, d]).unbounded
+
+    def test_merge_deltas_of_nothing_is_no_change(self):
+        assert merge_deltas([]) is EMPTY_DELTA
+
+
+class TestDeltaJournal:
+    def test_since_merges_exactly_the_gap(self):
+        journal = DeltaJournal()
+        a = Delta(removed=frozenset({("s0", 1)}))
+        b = Delta(added=frozenset({("s1", 2)}))
+        journal.record(a)
+        journal.record(b)
+        assert journal.since(0, 2).endpoints == {("s0", 1), ("s1", 2)}
+        assert journal.since(1, 2) == b
+        assert journal.since(2, 2) is EMPTY_DELTA
+
+    def test_window_eviction_advances_base_and_answers_none(self):
+        journal = DeltaJournal(maxlen=2)
+        for port in range(3):
+            journal.record(Delta(removed=frozenset({("s0", port)})))
+        assert journal.window_base == 1
+        assert journal.since(0, 3) is None  # fell out of the window
+        assert journal.since(1, 3).removed == {("s0", 1), ("s0", 2)}
+
+    def test_future_and_unjournaled_epochs_answer_none(self):
+        journal = DeltaJournal()
+        journal.record(EMPTY_DELTA)
+        assert journal.since(5, 1) is None
+        # A gap between journal length and the owner's counter means some
+        # mutation bypassed the journal: the only sound answer is None.
+        assert journal.since(0, 2) is None
+
+    def test_rejects_a_windowless_journal(self):
+        with pytest.raises(ValueError, match="at least one entry"):
+            DeltaJournal(maxlen=0)
+
+
+class TestNetworkJournal:
+    def test_disconnect_journals_both_ends_as_removed(self):
+        net = _net()
+        epoch = net.topology_epoch
+        net.disconnect(net.wire_at("s0", 1))
+        delta = net.affected_since(epoch)
+        assert delta.removed == {("s0", 1), ("s1", 1)}
+        assert not delta.added and not delta.unbounded
+
+    def test_connect_journals_both_ends_as_added(self):
+        net = _net()
+        epoch = net.topology_epoch
+        net.connect("s0", 2, "s1", 2)
+        delta = net.affected_since(epoch)
+        assert delta.added == {("s0", 2), ("s1", 2)}
+        assert not delta.removed
+
+    def test_remove_node_journals_every_severed_wire(self):
+        net = _net()
+        epoch = net.topology_epoch
+        net.remove_node("s1")
+        delta = net.affected_since(epoch)
+        assert {("s0", 1), ("s1", 1)} <= delta.removed
+
+    def test_node_additions_journal_empty(self):
+        """Adding an unwired node changes no wire end: consumers holding
+        cached walks keep everything."""
+        net = _net()
+        epoch = net.topology_epoch
+        net.add_switch("s2", radix=4)
+        net.add_host("h1")
+        delta = net.affected_since(epoch)
+        assert delta is not None and delta.empty
+
+    def test_quiet_network_answers_empty(self):
+        net = _net()
+        assert net.affected_since(net.topology_epoch) is EMPTY_DELTA
+
+    def test_cut_then_replug_reports_the_end_in_both_sets(self):
+        net = _net()
+        epoch = net.topology_epoch
+        wire = net.wire_at("s0", 1)
+        ends = (wire.a, wire.b)
+        net.disconnect(wire)
+        net.connect(ends[0].node, ends[0].port, ends[1].node, ends[1].port)
+        delta = net.affected_since(epoch)
+        assert delta.removed == delta.added == {("s0", 1), ("s1", 1)}
