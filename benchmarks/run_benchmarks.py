@@ -15,7 +15,11 @@ one command:
   tier records a single sample;
 - ``remap``   — incremental remapping: one cable cut on a warm, fully
   mapped fabric, the seeded remap timed against a from-scratch run. The
-  >=10x probe-reduction acceptance ratio is asserted inside each bench.
+  >=10x probe-reduction acceptance ratio is asserted inside each bench;
+- ``service`` — the async multi-tenant map server: an 8-tenant synthetic
+  load burst (maps/sec, routed queries/sec, p50/p99 latency, and the
+  count of route queries answered while remap cycles were in flight)
+  plus the idle route-lookup round-trip floor.
 
 Each benchmark repeats ``--repeats`` times and records the **median**
 wall-clock time per operation plus any extra counters (probe totals,
@@ -373,6 +377,86 @@ REMAP_SUITE: dict[str, Bench] = {
     "remap_single_cut_fattree8": _remap_fattree8,
 }
 
+# ---------------------------------------------------------------------------
+# service suite: the async multi-tenant map server under synthetic load
+# ---------------------------------------------------------------------------
+
+def _service_burst(n_tenants: int, rounds: int) -> tuple[float, dict]:
+    """Boot a real MapServer (process-pool workers) and run the synthetic
+    load generator against it: per-tenant operators cutting cables and
+    remapping while a querier pool hammers route lookups.
+
+    The timed quantity is the whole burst wall-clock; the extras carry the
+    service's headline numbers — maps/sec, routed queries/sec, p50/p99
+    latency for both — plus ``overlap_queries``, the count of route
+    queries answered *while* at least one remap cycle was in flight (the
+    acceptance criterion for the service's concurrency model).
+    """
+    import asyncio
+
+    from repro.service.loadgen import run_load, synthetic_tenants
+    from repro.service.server import MapServer
+
+    async def burst():
+        server = MapServer(synthetic_tenants(n_tenants, seed=0), max_workers=4)
+        host, port = await server.start()
+        try:
+            return await run_load(
+                host, port, rounds=rounds, route_clients=4, cut=True, seed=0
+            )
+        finally:
+            await server.stop()
+
+    report = asyncio.run(burst())
+    # Round 0 maps every tenant from scratch; the acceptance bar is that
+    # route queries kept being answered while those cycles ran.
+    assert report.maps_completed >= n_tenants, report.to_dict()
+    assert report.overlap_queries > 0, report.to_dict()
+    return report.wall_s, report.to_dict()
+
+
+def _service_route_rtt() -> tuple[float, dict]:
+    """Median route-lookup round-trip against one mapped, idle tenant —
+    the floor of what a client pays per query when no cycle is running."""
+    import asyncio
+
+    from repro.service.client import MapClient
+    from repro.service.server import MapServer
+    from repro.service.tenant import TenantSpec
+
+    async def measure():
+        server = MapServer(
+            [TenantSpec(name="t", topology="now-c")], max_workers=2
+        )
+        host, port = await server.start()
+        try:
+            async with MapClient(host, port) as client:
+                outcome = await client.map("t")
+                assert outcome.get("adopted"), outcome
+                listing = await client.tenants(include_hosts=True)
+                names = listing[0]["host_names"]
+                pairs = [(a, b) for a in names for b in names if a != b]
+                start = time.perf_counter()
+                n = 0
+                for src, dst in pairs * 4:
+                    response = await client.route("t", src, dst)
+                    assert response.get("ok"), response
+                    n += 1
+                return (time.perf_counter() - start) / n, n
+        finally:
+            await server.stop()
+
+    per_op, n = asyncio.run(measure())
+    return per_op, {"queries": n, "routes_per_s": round(1.0 / per_op, 1)}
+
+
+SERVICE_SUITE: dict[str, Bench] = {
+    # 8 concurrent tenants, 2 rounds (round 1 cuts a cable per tenant, so
+    # the remaps exercise the incremental seed path over the wire).
+    "service_burst_8tenants": lambda: _service_burst(8, 2),
+    "service_route_rtt_single_tenant": _service_route_rtt,
+}
+
 
 #: Benchmarks skipped by --quick (the CI smoke job): too slow for a gate.
 SLOW_BENCHES = frozenset({
@@ -450,7 +534,8 @@ def find_regressions(
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--suite",
-                        choices=["micro", "mapping", "scale", "remap", "all"],
+                        choices=["micro", "mapping", "scale", "remap",
+                                 "service", "all"],
                         default="micro")
     parser.add_argument("--repeats", type=int, default=5,
                         help="samples per benchmark (median is recorded)")
@@ -487,6 +572,7 @@ def main(argv: list[str] | None = None) -> int:
             "mapping": MAPPING_SUITE,
             "scale": SCALE_SUITE,
             "remap": REMAP_SUITE,
+            "service": SERVICE_SUITE,
         }
         suites = (
             all_suites if args.suite == "all"

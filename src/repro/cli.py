@@ -289,6 +289,47 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import MapServer, TenantSpec, run_load, synthetic_tenants
+
+    if args.config:
+        docs = json.loads(Path(args.config).read_text())
+        if not isinstance(docs, list):
+            raise ValueError("serve config must be a JSON list of tenant specs")
+        specs = [TenantSpec.from_dict(doc) for doc in docs]
+    else:
+        specs = synthetic_tenants(args.tenants, seed=args.seed)
+
+    async def run() -> int:
+        server = MapServer(specs, max_workers=args.workers)
+        host, port = await server.start(args.host, args.port)
+        print(f"san-map serve: {len(specs)} tenants on {host}:{port}", flush=True)
+        try:
+            if args.burst:
+                report = await run_load(
+                    host,
+                    port,
+                    rounds=args.burst,
+                    route_clients=args.route_clients,
+                    cut=not args.no_cut,
+                    seed=args.seed,
+                )
+                print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+                return 0 if report.maps_completed and report.route_ok else 1
+            await server.wait_closed()
+            return 0
+        finally:
+            await server.stop()
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        print("san-map serve: interrupted", file=sys.stderr)
+        return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="san-map",
@@ -359,6 +400,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", action="store_true",
                    help="print one line per cell as the grid runs")
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
+        "serve",
+        help="host N virtual clusters behind the async map server",
+    )
+    p.add_argument("--config", default=None,
+                   help="JSON list of tenant specs (default: synthetic tenants)")
+    p.add_argument("--tenants", type=int, default=8,
+                   help="synthetic tenant count when no --config is given")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 picks an ephemeral port)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="simulator worker processes (default: CPU count)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--burst", type=int, default=None, metavar="ROUNDS",
+                   help="drive a bounded load-generator burst, print the "
+                        "report as JSON, and exit (CI smoke mode)")
+    p.add_argument("--route-clients", type=int, default=4,
+                   help="concurrent route-query connections during --burst")
+    p.add_argument("--no-cut", action="store_true",
+                   help="burst without cable churn between rounds")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument("name", choices=list(_EXPERIMENTS) + ["all"])

@@ -119,9 +119,10 @@ def cache_summary(stats: EvalCacheStats | None) -> str:
     """
     if stats is None:
         return "eval cache: disabled"
+    hinted = f", {stats.hinted} hinted" if stats.hinted else ""
     return (
         f"eval cache: {stats.hits} hits / {stats.misses} misses "
-        f"({stats.hit_rate:.1%} hit rate), {stats.nodes} trie nodes, "
+        f"({stats.hit_rate:.1%} hit rate){hinted}, {stats.nodes} trie nodes, "
         f"{stats.invalidations} invalidations"
     )
 

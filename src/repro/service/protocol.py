@@ -1,0 +1,100 @@
+"""The wire protocol: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON. Length prefixing (rather than newline delimiting)
+keeps the protocol 8-bit clean — serialized maps embed arbitrary host
+names — and lets both sides pre-allocate. The frame ceiling bounds what a
+misbehaving peer can make the server buffer; a serialized full-NOW map
+with route tables is ~1 MiB, so 32 MiB leaves generous headroom for the
+datacenter tiers while still rejecting garbage lengths (a peer speaking
+HTTP at us reads as a ~1 GiB frame and is dropped immediately).
+
+Requests and responses are plain JSON objects. A request carries ``op``
+plus op-specific fields; a response carries ``ok`` plus either the result
+fields or ``error``/``message``. The op vocabulary and per-op fields are
+documented in ``docs/SERVICE.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Iterator
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "decode_frames",
+    "encode_frame",
+    "read_frame",
+    "write_frame",
+]
+
+#: Hard ceiling on one frame's payload size, both directions.
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+_LEN_BYTES = 4
+
+
+class ProtocolError(ValueError):
+    """The peer sent bytes that are not a well-formed frame."""
+
+
+def encode_frame(obj: Any) -> bytes:
+    """Serialize one message to its on-wire bytes."""
+    payload = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds the {MAX_FRAME_BYTES} ceiling"
+        )
+    return len(payload).to_bytes(_LEN_BYTES, "big") + payload
+
+
+def _decode_payload(payload: bytes) -> Any:
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame payload is not JSON: {exc}") from exc
+
+
+def decode_frames(buffer: bytes) -> Iterator[tuple[Any, int]]:
+    """Parse every complete frame in ``buffer``: yields (message, end).
+
+    The synchronous counterpart of :func:`read_frame` for callers holding
+    raw bytes (tests, captured traffic). ``end`` is the offset just past
+    the frame, so the caller can keep the unconsumed tail.
+    """
+    offset = 0
+    while len(buffer) - offset >= _LEN_BYTES:
+        length = int.from_bytes(buffer[offset : offset + _LEN_BYTES], "big")
+        if length > MAX_FRAME_BYTES:
+            raise ProtocolError(f"declared frame length {length} exceeds ceiling")
+        if len(buffer) - offset - _LEN_BYTES < length:
+            break
+        start = offset + _LEN_BYTES
+        yield _decode_payload(buffer[start : start + length]), start + length
+        offset = start + length
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Any | None:
+    """Read one frame; ``None`` on clean EOF at a frame boundary."""
+    try:
+        header = await reader.readexactly(_LEN_BYTES)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between frames
+        raise ProtocolError("connection closed mid-header") from exc
+    length = int.from_bytes(header, "big")
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"declared frame length {length} exceeds ceiling")
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    return _decode_payload(payload)
+
+
+async def write_frame(writer: asyncio.StreamWriter, obj: Any) -> None:
+    """Send one frame and drain (applies backpressure to the sender)."""
+    writer.write(encode_frame(obj))
+    await writer.drain()

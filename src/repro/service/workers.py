@@ -1,0 +1,194 @@
+"""Simulator workers: the CPU-heavy half of the map server.
+
+One remap cycle — rebuild the tenant's network from JSON, run the
+Berkeley mapper through a full middleware stack, compile and check UP*/
+DOWN* routes, verify the map against the effective fabric — is pure CPU
+and would stall the event loop for tens of milliseconds to minutes (scale
+tiers). The server therefore dispatches :func:`run_map_job` into a
+``ProcessPoolExecutor``; everything crossing the pool boundary is a plain
+JSON-able dict (the payload built by :meth:`TenantState.job_payload`, the
+outcome consumed by :meth:`TenantState.adopt`), so the pool never pickles
+live simulator state and a worker crash loses exactly one cycle.
+
+Each worker process builds one seeded simulator per job: probe RNG,
+fault RNG and mapper exploration order all derive from the payload's
+seed, so a cycle's outcome is a deterministic function of its payload —
+re-running a failed payload reproduces the failure bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.service.serialize import (
+    map_result_from_dict,
+    map_result_to_dict,
+    route_tables_to_dict,
+)
+from repro.service.tenant import dead_wires_from_doc
+
+__all__ = ["run_map_job"]
+
+
+def _mapping_failure(payload: dict, kind: str, message: str) -> dict:
+    return {
+        "ok": False,
+        "tenant": payload.get("tenant", "?"),
+        "net_epoch": payload.get("net_epoch"),
+        "error": kind,
+        "message": message,
+    }
+
+
+def run_map_job(payload: dict) -> dict:
+    """Run one complete map→routes→verify cycle from a JSON payload.
+
+    Returns a JSON-able outcome dict: ``ok`` plus either the serialized
+    ``map_result``/``tables`` and verification verdicts, or an ``error``
+    code and message. Only *expected* mapping failures (a probe-model
+    contradiction, an unusable seed payload) are converted to error
+    outcomes; anything else propagates and surfaces in the server log —
+    a bug must keep its traceback (SAN006 discipline).
+    """
+    import networkx as nx
+
+    from repro.chaos.oracles import effective_network
+    from repro.core.instrumentation import analyze_records
+    from repro.core.mapper import BerkeleyMapper, MapSeed, MappingError
+    from repro.routing.compile_routes import compile_route_tables
+    from repro.routing.deadlock import routes_deadlock_free
+    from repro.routing.paths import all_pairs_updown_paths
+    from repro.routing.updown import orient_updown
+    from repro.simulator.faults import FaultModel
+    from repro.simulator.stack import (
+        TraceBusLayer,
+        build_service_stack,
+        describe_stack,
+    )
+    from repro.topology.analysis import core_network, recommended_search_depth
+    from repro.topology.isomorphism import match_networks
+    from repro.topology.model import TopologyError
+    from repro.topology.serialize import network_from_dict
+
+    tenant = payload.get("tenant", "?")
+    try:
+        net = network_from_dict(payload["network"])
+        dead = dead_wires_from_doc(payload.get("dead_wires", []))
+    except (KeyError, TypeError, ValueError) as exc:
+        return _mapping_failure(payload, "bad-payload", str(exc))
+    mapper_host = payload.get("mapper") or sorted(net.hosts)[0]
+    if not net.is_host(mapper_host):
+        return _mapping_failure(
+            payload, "bad-payload", f"mapper {mapper_host!r} is not a host"
+        )
+    faults = FaultModel(
+        drop_prob=float(payload.get("drop_prob", 0.0)),
+        corrupt_prob=float(payload.get("corrupt_prob", 0.0)),
+        dead_wires=dead,
+        seed=int(payload.get("seed", 0)),
+    )
+
+    # The effective fabric the map must match: the actual network minus
+    # dead cables (a dead wire answers no probe, exactly like a cut one),
+    # restricted to the mapper's connected component — a cut that splits
+    # the fabric hides the far side from in-band discovery, it does not
+    # make the near side unmappable.
+    effective = effective_network(net, faults, mapper_host)
+
+    depth = payload.get("search_depth")
+    if depth is None:
+        if effective.n_switches < 1 or effective.n_hosts < 2:
+            depth = 2
+        else:
+            try:
+                depth = recommended_search_depth(effective, mapper_host)
+            except (TopologyError, ValueError):
+                # Degenerate component (e.g. everything cut away): any
+                # small depth maps what little remains.
+                depth = 2
+
+    records: list = []
+    bus = TraceBusLayer((records.append,))
+    svc = build_service_stack(
+        net, mapper_host, layers=(bus,), faults=faults
+    )
+    mapper = BerkeleyMapper(
+        svc,
+        search_depth=depth,
+        host_first=False,
+        max_explorations=payload.get("max_explorations", 20000),
+    )
+    if "map_seed" in payload:
+        seed_doc = payload["map_seed"]
+        try:
+            prior = map_result_from_dict(seed_doc["map_result"])
+            affected = frozenset(
+                (str(n), int(p)) for n, p in seed_doc.get("affected", [])
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            return _mapping_failure(payload, "bad-seed", str(exc))
+        mapper.seed_with(
+            MapSeed(
+                network=prior.network,
+                witnesses=prior.witnesses,
+                affected=affected,
+                entries=prior.entry_ports,
+            )
+        )
+    try:
+        result = mapper.run()
+    except MappingError as exc:
+        return _mapping_failure(payload, "mapping-failed", str(exc))
+
+    try:
+        orientation = orient_updown(result.network)
+        paths = all_pairs_updown_paths(result.network, orientation)
+        tables = compile_route_tables(
+            result.network, paths, orientation=orientation
+        )
+    except (ValueError, nx.NetworkXException) as exc:
+        # A fabric split can leave the mapper's component too degenerate
+        # to route (e.g. the mapper host alone behind the cut). Expected
+        # under faults, so it degrades the tenant instead of crashing.
+        return _mapping_failure(payload, "routing-failed", str(exc))
+    deadlock_free = routes_deadlock_free(tables)
+    report = match_networks(result.network, core_network(effective))
+    analysis = analyze_records(records)
+    cache = svc.eval_cache_stats
+
+    return {
+        "ok": True,
+        "tenant": tenant,
+        "net_epoch": payload.get("net_epoch"),
+        "map_result": map_result_to_dict(result),
+        "tables": route_tables_to_dict(tables),
+        "n_routes": sum(len(t) for t in tables.values()),
+        "deadlock_free": deadlock_free,
+        "isomorphic": bool(report),
+        "mismatch": None if report else report.reason,
+        "probes": result.stats.total_probes,
+        "elapsed_ms": result.stats.elapsed_ms,
+        "seeded": result.seeded,
+        "kept_nodes": result.kept_nodes,
+        "seed_fallback": result.seed_fallback,
+        "stack": describe_stack(svc),
+        "trace": {
+            "probes": analysis.total,
+            "hits": analysis.hits,
+            "answered_us": analysis.answered_us,
+            "timeout_us": analysis.timeout_us,
+            "by_length": {
+                str(length): list(pair)
+                for length, pair in sorted(analysis.by_length.items())
+            },
+        },
+        "eval_cache": None
+        if cache is None
+        else {
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "hinted": cache.hinted,
+            "hit_rate": round(cache.hit_rate, 4),
+            "nodes": cache.nodes,
+        },
+    }

@@ -191,6 +191,11 @@ class EvalCacheStats:
     surgical: int = 0
     #: Trie nodes dropped across all surgical passes.
     nodes_dropped: int = 0
+    #: Probes resolved through the sibling-batch hint table. Each such
+    #: probe still credits ``hits`` for every level the hint let it skip
+    #: (the accounting is identical to the unbatched descent of the same
+    #: string); this counter records how often the shortcut itself fired.
+    hinted: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -388,6 +393,7 @@ class IncrementalPathEvaluator:
         self._evaluations = 0
         self._surgical = 0
         self._nodes_dropped = 0
+        self._hinted = 0
 
     @property
     def stats(self) -> EvalCacheStats:
@@ -399,6 +405,7 @@ class IncrementalPathEvaluator:
             nodes=self._n_nodes,
             surgical=self._surgical,
             nodes_dropped=self._nodes_dropped,
+            hinted=self._hinted,
         )
 
     def invalidate(self) -> None:
@@ -639,10 +646,22 @@ class IncrementalPathEvaluator:
         if seq and self._hints:
             node = self._hints.get((h0, seq[:-1]))
             if node is not None:
-                self._hits += 1
+                self._hinted += 1
+                # Credit one hit per level the hint let us skip, so the
+                # counters read identically to the unbatched descent of
+                # the same string: root + len(seq)-1 prefix children for
+                # an in-flight node, root + failed_at+1 children down to
+                # an absorbing one. (Before this, a hinted probe charged
+                # a single hit and the batch=True hit rate was
+                # incomparable with the unbatched one.)
                 if node.status is not None:
                     # The prefix already failed; so does every extension.
+                    if node.failed_at is None:
+                        self._hits += 1  # absorbing root: NOT_ATTACHED
+                    else:
+                        self._hits += node.failed_at + 2
                     return node
+                self._hits += len(seq)
                 turn = seq[-1]
                 child = node.children.get(turn)
                 if child is None:

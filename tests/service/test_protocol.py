@@ -1,0 +1,131 @@
+"""Wire-protocol unit tests: length-prefixed JSON frames.
+
+The codecs are exercised both synchronously (`encode_frame` /
+`decode_frames` over raw buffers) and through the asyncio stream path
+(`read_frame` against a fed `StreamReader`), because the failure modes
+differ: a buffer parser sees truncation as "no more frames", a stream
+reader must distinguish clean EOF from a peer dying mid-frame.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service import protocol
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_frames,
+    encode_frame,
+    read_frame,
+)
+
+
+def _reader_with(data: bytes, *, eof: bool = True) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    if eof:
+        reader.feed_eof()
+    return reader
+
+
+class TestEncodeDecode:
+    def test_round_trips_structured_messages(self):
+        messages = [
+            {"op": "ping"},
+            {"op": "route", "tenant": "t", "src": "héçö-0", "dst": "h1"},
+            {"ok": True, "turns": [0, -1, 2], "nested": {"a": [None, True]}},
+            [],
+            "bare string",
+        ]
+        buffer = b"".join(encode_frame(m) for m in messages)
+        decoded = []
+        offset = 0
+        for message, end in decode_frames(buffer):
+            decoded.append(message)
+            assert end > offset  # offsets strictly advance
+            offset = end
+        assert decoded == messages
+        assert offset == len(buffer)  # nothing left unconsumed
+
+    def test_header_is_big_endian_length(self):
+        frame = encode_frame({"op": "ping"})
+        length = int.from_bytes(frame[:4], "big")
+        assert length == len(frame) - 4
+        assert json.loads(frame[4:]) == {"op": "ping"}
+
+    def test_partial_tail_is_left_for_the_next_read(self):
+        whole = encode_frame({"n": 1})
+        buffer = whole + encode_frame({"n": 2})[:-3]  # second frame truncated
+        results = list(decode_frames(buffer))
+        assert [m for m, _ in results] == [{"n": 1}]
+        assert results[0][1] == len(whole)
+
+    def test_oversize_payload_is_rejected_at_encode_time(self, monkeypatch):
+        monkeypatch.setattr(protocol, "MAX_FRAME_BYTES", 16)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_frame({"payload": "x" * 64})
+
+    def test_oversize_declared_length_is_rejected_before_buffering(self, monkeypatch):
+        monkeypatch.setattr(protocol, "MAX_FRAME_BYTES", 16)
+        huge = (1 << 30).to_bytes(4, "big") + b"GET " # an HTTP peer, say
+        with pytest.raises(ProtocolError, match="ceiling"):
+            list(decode_frames(huge))
+
+    def test_non_json_payload_is_a_protocol_error(self):
+        frame = (3).to_bytes(4, "big") + b"}{x"
+        with pytest.raises(ProtocolError, match="not JSON"):
+            list(decode_frames(frame))
+
+    def test_real_ceiling_is_generous_but_finite(self):
+        assert MAX_FRAME_BYTES == 32 * 1024 * 1024
+
+
+class TestReadFrame:
+    def test_reads_back_to_back_frames_then_clean_eof(self):
+        async def run():
+            reader = _reader_with(
+                encode_frame({"op": "ping"}) + encode_frame({"op": "stats"})
+            )
+            assert await read_frame(reader) == {"op": "ping"}
+            assert await read_frame(reader) == {"op": "stats"}
+            return await read_frame(reader)
+
+        assert asyncio.run(run()) is None  # EOF at a frame boundary
+
+    def test_eof_mid_header_is_a_protocol_error(self):
+        async def run():
+            reader = _reader_with(b"\x00\x00")
+            with pytest.raises(ProtocolError, match="mid-header"):
+                await read_frame(reader)
+
+        asyncio.run(run())
+
+    def test_eof_mid_frame_is_a_protocol_error(self):
+        async def run():
+            reader = _reader_with(encode_frame({"op": "ping"})[:-2])
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                await read_frame(reader)
+
+        asyncio.run(run())
+
+    def test_oversize_declared_length_never_buffers(self, monkeypatch):
+        monkeypatch.setattr(protocol, "MAX_FRAME_BYTES", 16)
+
+        async def run():
+            reader = _reader_with((1 << 30).to_bytes(4, "big"), eof=False)
+            with pytest.raises(ProtocolError, match="ceiling"):
+                await read_frame(reader)
+
+        asyncio.run(run())
+
+    def test_malformed_json_payload_is_a_protocol_error(self):
+        async def run():
+            reader = _reader_with((5).to_bytes(4, "big") + b"notjs")
+            with pytest.raises(ProtocolError, match="not JSON"):
+                await read_frame(reader)
+
+        asyncio.run(run())

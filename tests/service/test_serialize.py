@@ -1,0 +1,281 @@
+"""Round-trip coverage for the service JSON codecs.
+
+Two properties per document kind:
+
+- **round-trip equality**: ``x_from_dict(json-round-trip(x_to_dict(v)))``
+  rebuilds an object whose re-serialization is byte-identical to the
+  first document (every ``*_to_dict`` emits sorted, JSON-native shapes,
+  so doc equality is object equality without needing ``__eq__`` on every
+  dataclass);
+- **malformed rejection**: a payload that does not describe what it
+  claims raises :class:`SerializationError`, never half-builds state.
+
+The map under test is a real Berkeley mapping run (the session-scoped
+``mapped_c`` fixture), so the network/witness/growth shapes being
+serialized are the ones production emits, not hand-rolled minimums.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.instrumentation import PhaseProfile
+from repro.core.remapper import RemapCycle
+from repro.routing.compile_routes import compile_route_tables
+from repro.routing.distribute import DistributionReport
+from repro.routing.paths import all_pairs_updown_paths
+from repro.routing.updown import orient_updown
+from repro.service.serialize import (
+    SerializationError,
+    map_result_from_dict,
+    map_result_to_dict,
+    probe_stats_from_dict,
+    probe_stats_to_dict,
+    remap_cycle_from_dict,
+    remap_cycle_to_dict,
+    route_table_from_dict,
+    route_table_to_dict,
+    route_tables_from_dict,
+    route_tables_to_dict,
+)
+from repro.topology.diff import MapDiff, diff_networks
+from repro.topology.isomorphism import match_networks
+
+
+def _json_round_trip(doc: dict) -> dict:
+    """Force the document through actual JSON, as the wire would."""
+    return json.loads(json.dumps(doc))
+
+
+@pytest.fixture(scope="module")
+def mapped_tables(request):
+    result = request.getfixturevalue("mapped_c")
+    orientation = orient_updown(result.network)
+    paths = all_pairs_updown_paths(result.network, orientation)
+    return compile_route_tables(result.network, paths, orientation=orientation)
+
+
+class TestMapResultRoundTrip:
+    def test_reserialization_is_identical(self, mapped_c):
+        doc = map_result_to_dict(mapped_c)
+        back = map_result_from_dict(_json_round_trip(doc))
+        assert map_result_to_dict(back) == doc
+
+    def test_scalar_fields_survive(self, mapped_c):
+        back = map_result_from_dict(_json_round_trip(map_result_to_dict(mapped_c)))
+        assert back.mapper_host == mapped_c.mapper_host
+        assert back.search_depth == mapped_c.search_depth
+        assert back.explorations == mapped_c.explorations
+        assert back.merges == mapped_c.merges
+        assert back.peak_model_nodes == mapped_c.peak_model_nodes
+        assert back.seeded == mapped_c.seeded
+        assert back.kept_nodes == mapped_c.kept_nodes
+        assert back.seed_fallback == mapped_c.seed_fallback
+        assert back.growth == mapped_c.growth
+        assert back.switch_names == mapped_c.switch_names
+        assert back.witnesses == mapped_c.witnesses
+        assert back.entry_ports == mapped_c.entry_ports
+
+    def test_network_survives_up_to_isomorphism(self, mapped_c):
+        back = map_result_from_dict(_json_round_trip(map_result_to_dict(mapped_c)))
+        assert back.network.n_hosts == mapped_c.network.n_hosts
+        assert back.network.n_switches == mapped_c.network.n_switches
+        report = match_networks(back.network, mapped_c.network)
+        assert report, report.reason
+
+    def test_profile_rows_survive(self, mapped_c):
+        profiled = dataclasses.replace(
+            mapped_c,
+            profile=PhaseProfile(phases={"explore": (7, 0.125), "probe": (31, 0.5)}),
+        )
+        back = map_result_from_dict(_json_round_trip(map_result_to_dict(profiled)))
+        assert back.profile is not None
+        assert back.profile.phases == profiled.profile.phases
+
+
+class TestProbeStatsRoundTrip:
+    def test_counters_survive(self, mapped_c):
+        doc = probe_stats_to_dict(mapped_c.stats)
+        back = probe_stats_from_dict(_json_round_trip(doc))
+        assert probe_stats_to_dict(back) == doc
+        assert back.total_probes == mapped_c.stats.total_probes
+        assert back.elapsed_us == mapped_c.stats.elapsed_us
+
+    def test_trace_is_opt_in(self, mapped_c):
+        assert "trace" not in probe_stats_to_dict(mapped_c.stats)
+
+
+class TestRouteTableRoundTrip:
+    def test_single_table_reserializes_identically(self, mapped_tables):
+        host, table = sorted(mapped_tables.items())[0]
+        doc = route_table_to_dict(table)
+        back = route_table_from_dict(_json_round_trip(doc))
+        assert route_table_to_dict(back) == doc
+        assert back.host == host
+        assert set(back.routes) == set(table.routes)
+        for dst, route in table.routes.items():
+            got = back.routes[dst]
+            assert got.src == route.src and got.dst == route.dst
+            assert got.turns == route.turns
+            assert got.traversals == route.traversals
+            assert got.hops == route.hops
+
+    def test_whole_generation_reserializes_identically(self, mapped_tables):
+        doc = route_tables_to_dict(mapped_tables)
+        back = route_tables_from_dict(_json_round_trip(doc))
+        assert route_tables_to_dict(back) == doc
+        assert set(back) == set(mapped_tables)
+
+
+class TestRemapCycleRoundTrip:
+    def test_full_cycle_reserializes_identically(self, mapped_c, mapped_tables):
+        cycle = RemapCycle(
+            index=3,
+            map_result=mapped_c,
+            diff=diff_networks(mapped_c.network, mapped_c.network),
+            routes_recomputed=True,
+            deadlock_free=True,
+            n_routes=sum(len(t) for t in mapped_tables.values()),
+            distribution=DistributionReport(
+                mapper_host=mapped_c.mapper_host,
+                delivered=sorted(mapped_tables),
+                failed=[],
+                bytes_sent=4096,
+                elapsed_us=17.5,
+            ),
+            elapsed_ms=12.25,
+            incremental=True,
+            seed_fallback="delta is unbounded",
+            probes_saved=11,
+            subtrees_kept=4,
+        )
+        doc = remap_cycle_to_dict(cycle)
+        back = remap_cycle_from_dict(_json_round_trip(doc))
+        assert remap_cycle_to_dict(back) == doc
+        assert back.index == 3 and back.changed is False
+        assert back.distribution.delivered == sorted(mapped_tables)
+        assert back.seed_fallback == "delta is unbounded"
+
+    def test_optional_fields_may_be_absent_or_null(self, mapped_c):
+        cycle = RemapCycle(
+            index=0,
+            map_result=mapped_c,
+            diff=MapDiff(identical=False, hosts_added=["h9"]),
+            routes_recomputed=False,
+            deadlock_free=None,
+            n_routes=0,
+            distribution=None,
+            elapsed_ms=1.0,
+        )
+        back = remap_cycle_from_dict(_json_round_trip(remap_cycle_to_dict(cycle)))
+        assert back.deadlock_free is None
+        assert back.distribution is None
+        assert back.diff.hosts_added == ["h9"]
+        assert back.incremental is False and back.seed_fallback is None
+
+
+class TestMalformedRejection:
+    """Every decoder refuses payloads that don't describe what they claim."""
+
+    def test_non_object_payloads(self):
+        for decoder in (
+            map_result_from_dict,
+            probe_stats_from_dict,
+            route_table_from_dict,
+            route_tables_from_dict,
+            remap_cycle_from_dict,
+        ):
+            with pytest.raises(SerializationError, match="expected an object"):
+                decoder([1, 2, 3])
+
+    def test_wrong_kind_is_rejected(self, mapped_c):
+        doc = map_result_to_dict(mapped_c)
+        doc["kind"] = "route-table"
+        with pytest.raises(SerializationError, match="wrong or missing kind"):
+            map_result_from_dict(doc)
+
+    def test_unknown_version_fails_loudly(self, mapped_c):
+        doc = map_result_to_dict(mapped_c)
+        doc["version"] = 999
+        with pytest.raises(SerializationError, match="unsupported version"):
+            map_result_from_dict(doc)
+
+    def test_missing_field_names_the_field(self, mapped_c):
+        doc = map_result_to_dict(mapped_c)
+        del doc["witnesses"]
+        with pytest.raises(SerializationError, match="missing field 'witnesses'"):
+            map_result_from_dict(doc)
+
+    def test_wrongly_typed_field_is_rejected(self, mapped_c):
+        doc = map_result_to_dict(mapped_c)
+        doc["search_depth"] = "five"
+        with pytest.raises(SerializationError, match="'search_depth'"):
+            map_result_from_dict(doc)
+
+    def test_corrupt_embedded_network_is_rejected(self, mapped_c):
+        doc = map_result_to_dict(mapped_c)
+        doc["network"] = {"not": "a network"}
+        with pytest.raises(SerializationError, match="bad network"):
+            map_result_from_dict(doc)
+
+    def test_non_integer_witness_turns_are_rejected(self, mapped_c):
+        doc = map_result_to_dict(mapped_c)
+        doc["witnesses"] = {"s0": [0, "left", 1]}
+        with pytest.raises(SerializationError, match="turn list"):
+            map_result_from_dict(doc)
+
+    def test_boolean_masquerading_as_turn_is_rejected(self, mapped_c):
+        # JSON booleans are ints in Python; a turn list of [0, true] must
+        # still be rejected, not silently coerced to [0, 1].
+        doc = map_result_to_dict(mapped_c)
+        doc["witnesses"] = {"s0": [0, True]}
+        with pytest.raises(SerializationError, match="turn list"):
+            map_result_from_dict(doc)
+
+    def test_malformed_growth_sample_is_rejected(self, mapped_c):
+        doc = map_result_to_dict(mapped_c)
+        doc["growth"] = [[1, 2, 3]]  # four-tuple expected
+        with pytest.raises(SerializationError, match="growth sample"):
+            map_result_from_dict(doc)
+
+    def test_malformed_traversal_endpoint_is_rejected(self, mapped_tables):
+        doc = route_table_to_dict(sorted(mapped_tables.values(), key=lambda t: t.host)[0])
+        dst = sorted(doc["routes"])[0]
+        doc["routes"][dst]["traversals"] = [[["s0", 0], ["s1"]]]
+        with pytest.raises(SerializationError, match="port ref"):
+            route_table_from_dict(doc)
+
+    def test_table_keyed_under_the_wrong_host_is_rejected(self, mapped_tables):
+        doc = route_tables_to_dict(mapped_tables)
+        hosts = sorted(doc["tables"])
+        doc["tables"][hosts[0]], doc["tables"][hosts[1]] = (
+            doc["tables"][hosts[1]],
+            doc["tables"][hosts[0]],
+        )
+        with pytest.raises(SerializationError, match="claims host"):
+            route_tables_from_dict(doc)
+
+    def test_bad_probe_trace_record_is_rejected(self, mapped_c):
+        doc = probe_stats_to_dict(mapped_c.stats)
+        doc["trace"] = [{"probe_kind": "no-such-kind", "turns": []}]
+        with pytest.raises(SerializationError, match="bad trace record"):
+            probe_stats_from_dict(doc)
+
+    def test_cycle_with_non_bool_deadlock_verdict_is_rejected(self, mapped_c):
+        cycle = RemapCycle(
+            index=0,
+            map_result=mapped_c,
+            diff=MapDiff(identical=True),
+            routes_recomputed=False,
+            deadlock_free=None,
+            n_routes=0,
+            distribution=None,
+            elapsed_ms=0.0,
+        )
+        doc = remap_cycle_to_dict(cycle)
+        doc["deadlock_free"] = "yes"
+        with pytest.raises(SerializationError, match="deadlock_free"):
+            remap_cycle_from_dict(doc)

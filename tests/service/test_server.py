@@ -1,0 +1,390 @@
+"""MapServer integration tests, in-process and deterministic.
+
+Every test injects a ``ThreadPoolExecutor`` (the server accepts any
+``concurrent.futures.Executor``), so remap cycles run real simulator
+workers without process-pool startup cost or pickling, and a test can
+swap in a *broken* executor to force the worker-failure path on demand.
+Async bodies run under ``asyncio.run`` — the suite has no asyncio pytest
+plugin, by design (one less dependency in the image).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+from concurrent.futures import Executor, ThreadPoolExecutor
+
+import pytest
+
+from repro.service.client import MapClient, ServiceError
+from repro.service.protocol import read_frame
+from repro.service.server import MapServer, percentile
+from repro.service.tenant import TenantSpec
+
+RING = TenantSpec(name="ring", topology="ring", params={"size": 4, "hosts_per_switch": 1})
+MESH = TenantSpec(name="mesh", topology="mesh", params={"size": 2, "hosts_per_switch": 1})
+
+
+class _BrokenExecutor(Executor):
+    """An executor whose pool is gone — every submission fails."""
+
+    def submit(self, fn, /, *args, **kwargs):
+        raise RuntimeError("simulated worker-pool failure")
+
+
+class _GatedPool(ThreadPoolExecutor):
+    """A thread pool whose jobs block until the test opens the gate —
+    the only way to *deterministically* observe an in-flight cycle."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.gate = threading.Event()
+
+    def submit(self, fn, /, *args, **kwargs):
+        def gated(*inner_args, **inner_kwargs):
+            assert self.gate.wait(timeout=30), "test never opened the gate"
+            return fn(*inner_args, **inner_kwargs)
+
+        return super().submit(gated, *args, **kwargs)
+
+
+@contextlib.asynccontextmanager
+async def _server(*specs: TenantSpec, max_workers: int = 2):
+    """A started MapServer on an ephemeral port, torn down afterwards."""
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        server = MapServer(specs, executor=pool)
+        host, port = await server.start()
+        try:
+            yield server, host, port
+        finally:
+            await server.stop()
+
+
+class TestLifecycle:
+    def test_duplicate_tenant_names_are_rejected(self):
+        with pytest.raises(ValueError, match="duplicate tenant"):
+            MapServer([RING, RING])
+
+    def test_address_requires_a_started_server(self):
+        with pytest.raises(RuntimeError, match="not started"):
+            MapServer([RING]).address
+
+    def test_shutdown_op_stops_the_server(self):
+        async def run():
+            async with _server(RING) as (server, host, port):
+                async with MapClient(host, port) as client:
+                    response = await client.shutdown()
+                    assert response["stopping"] is True
+                await asyncio.wait_for(server.wait_closed(), timeout=5)
+
+        asyncio.run(run())
+
+
+class TestDispatch:
+    def test_requests_must_be_objects_with_an_op(self):
+        async def run():
+            server = MapServer([RING])
+            assert (await server.handle_request(["not", "a", "dict"]))["error"] == "bad-request"
+            assert (await server.handle_request({"op": 7}))["error"] == "bad-request"
+            assert (await server.handle_request({"op": "nope"}))["error"] == "unknown-op"
+            # Op names never resolve to private attributes.
+            assert (await server.handle_request({"op": "_cycle"}))["error"] == "unknown-op"
+            return server.stats.snapshot()
+
+        snapshot = asyncio.run(run())
+        assert snapshot["errors"]["?"] == 2
+        assert snapshot["requests"]["nope"] == 1
+
+    def test_unknown_tenant_is_an_error_not_an_exception(self):
+        async def run():
+            server = MapServer([RING])
+            for op in ("map", "route", "verify", "cut", "plug"):
+                response = await server.handle_request({"op": op, "tenant": "ghost"})
+                assert response["ok"] is False
+                assert response["error"] == "unknown-tenant"
+            response = await server.handle_request({"op": "stats", "tenant": "ghost"})
+            assert response["error"] == "unknown-tenant"
+
+        asyncio.run(run())
+
+    def test_internal_errors_become_responses(self):
+        async def run():
+            server = MapServer([RING])
+            # No executor was ever attached: the cycle raises RuntimeError,
+            # which must come back as a response, not escape the dispatcher.
+            response = await server.handle_request({"op": "map", "tenant": "ring"})
+            assert response["ok"] is False
+            assert response["error"] == "internal-error"
+            assert "RuntimeError" in response["message"]
+
+        asyncio.run(run())
+
+
+class TestMapRouteVerify:
+    def test_full_tenant_lifecycle_over_the_socket(self):
+        async def run():
+            async with _server(RING, MESH) as (server, host, port):
+                async with MapClient(host, port) as client:
+                    listing = await client.tenants(include_hosts=True)
+                    assert [t["name"] for t in listing] == ["ring", "mesh"]
+                    assert all(t["status"] == "unmapped" for t in listing)
+                    hosts = {t["name"]: t["host_names"] for t in listing}
+
+                    # Route before any map: a miss, not a crash.
+                    miss = await client.route("ring", hosts["ring"][0], hosts["ring"][1])
+                    assert miss["ok"] is False and miss["error"] == "unmapped"
+
+                    outcome = await client.map("ring")
+                    assert outcome["adopted"] is True
+                    assert outcome["generation"] == 1
+                    assert outcome["isomorphic"] and outcome["deadlock_free"]
+                    assert outcome["probes"] > 0 and outcome["n_routes"] > 0
+
+                    src, dst = hosts["ring"][0], hosts["ring"][1]
+                    route = await client.route("ring", src, dst)
+                    assert route["generation"] == 1
+                    assert route["hops"] == len(route["turns"]) + 1
+                    assert all(isinstance(t, int) for t in route["turns"])
+
+                    # verify replays served routes on the actual fabric.
+                    verdict = await client.verify("ring")
+                    assert verdict["ok"] is True
+                    assert verdict["deadlock_free"] is True
+                    assert verdict["routes_checked"] == verdict["routes_delivered"] > 0
+                    sampled = await client.verify("ring", sample=2)
+                    assert sampled["routes_checked"] == 2
+
+                    # The other tenant is untouched by all of the above.
+                    stats = await client.stats("mesh")
+                    assert stats["status"] == "unmapped"
+                    assert stats["generation"] == 0
+            return True
+
+        assert asyncio.run(run())
+
+    def test_cut_then_remap_seeds_incrementally_and_reroutes(self):
+        async def run():
+            async with _server(RING) as (server, host, port):
+                async with MapClient(host, port) as client:
+                    await client.map("ring")
+                    cut = await client.cut("ring", auto=True)
+                    assert len(cut["cut"]) == 2  # two wire ends reported
+
+                    outcome = await client.map("ring")
+                    assert outcome["adopted"] is True
+                    assert outcome["generation"] == 2
+                    # The second cycle seeded from the wire-serialized prior
+                    # map: the delta journal proved only removals happened.
+                    assert outcome["seeded"] is True
+                    assert outcome.get("seed_fallback") is None
+                    assert outcome["kept_nodes"] > 0
+
+                    verdict = await client.verify("ring")
+                    assert verdict["ok"] is True, verdict["failures"]
+            return True
+
+        assert asyncio.run(run())
+
+    def test_explicit_cut_and_plug_round_trip(self):
+        async def run():
+            async with _server(RING) as (server, host, port):
+                net = server.tenants["ring"].net
+                wire = next(
+                    w for w in sorted(
+                        net.wires,
+                        key=lambda w: (w.a.node, w.a.port),
+                    )
+                    if net.is_switch(w.a.node) and net.is_switch(w.b.node)
+                )
+                ends = [[wire.a.node, wire.a.port], [wire.b.node, wire.b.port]]
+                async with MapClient(host, port) as client:
+                    cut = await client.cut("ring", node=ends[0][0], port=ends[0][1])
+                    assert sorted(cut["cut"]) == sorted(ends)
+                    # Cutting where nothing is plugged is a clean error.
+                    empty = await client.cut("ring", node=ends[0][0], port=ends[0][1])
+                    assert empty["ok"] is False and empty["error"] == "no-wire"
+                    await client.request("plug", tenant="ring", a=ends[0], b=ends[1])
+                    assert net.wire_at(ends[0][0], ends[0][1]) is not None
+                    # Re-plugging an occupied port is rejected, not fatal.
+                    with pytest.raises(ServiceError) as err:
+                        await client.request("plug", tenant="ring", a=ends[0], b=ends[1])
+                    assert err.value.code == "bad-plug"
+            return True
+
+        assert asyncio.run(run())
+
+
+class TestCoalescing:
+    def test_concurrent_maps_share_one_cycle(self):
+        async def run():
+            async with _server(RING) as (server, host, port):
+                tenant = server.tenants["ring"]
+                first = server._ensure_cycle(tenant)
+                assert first is not None
+                assert server._ensure_cycle(tenant) is None  # coalesced
+                outcomes = await asyncio.gather(
+                    server.run_map_cycle("ring"), server.run_map_cycle("ring")
+                )
+                assert outcomes[0] is outcomes[1]  # same cycle, same outcome
+                assert tenant.maps_completed == 1
+                assert "ring" not in server._inflight
+            return True
+
+        assert asyncio.run(run())
+
+    def test_nowait_map_reports_dispatch_vs_coalesce(self):
+        async def run():
+            with _GatedPool(max_workers=1) as pool:
+                server = MapServer([RING], executor=pool)
+                host, port = await server.start()
+                try:
+                    async with MapClient(host, port) as client:
+                        a = await client.map("ring", wait=False)
+                        b = await client.map("ring", wait=False)
+                        assert a["dispatched"] and a["coalesced"] is False
+                        assert b["dispatched"] and b["coalesced"] is True
+                        listing = await client.tenants()
+                        assert listing[0]["remap_in_flight"] is True
+                        pool.gate.set()
+                        # The dispatched cycle completes and is adopted.
+                        await server.run_map_cycle("ring")
+                        assert server.tenants["ring"].generation == 1
+                finally:
+                    pool.gate.set()
+                    await server.stop()
+            return True
+
+        assert asyncio.run(run())
+
+
+class TestFailureSemantics:
+    def test_worker_failure_degrades_the_tenant_not_the_server(self):
+        async def run():
+            async with _server(RING, MESH) as (server, host, port):
+                async with MapClient(host, port) as client:
+                    listing = await client.tenants(include_hosts=True)
+                    hosts = {t["name"]: t["host_names"] for t in listing}
+                    await client.map("ring")
+                    baseline = await client.route(
+                        "ring", hosts["ring"][0], hosts["ring"][1]
+                    )
+
+                    # Break the pool: the next cycle dies in submit().
+                    good_pool, server._executor = server._executor, _BrokenExecutor()
+                    outcome = await client.map("ring")
+                    assert outcome["ok"] is False
+                    assert outcome["error"] == "worker-failed"
+                    assert outcome["generation"] == 1  # old generation kept
+
+                    # Degraded, not down: the previous tables still serve.
+                    stats = await client.stats("ring")
+                    assert stats["status"] == "degraded"
+                    assert stats["maps_failed"] == 1
+                    again = await client.route(
+                        "ring", hosts["ring"][0], hosts["ring"][1]
+                    )
+                    assert again["turns"] == baseline["turns"]
+
+                    # The sibling tenant's cycles never touched the bad pool
+                    # state machine: isolation is per tenant.
+                    server._executor = good_pool
+                    assert (await client.map("mesh"))["adopted"] is True
+
+                    # And the degraded tenant recovers on the next cycle.
+                    recovered = await client.map("ring")
+                    assert recovered["adopted"] is True
+                    assert recovered["generation"] == 2
+                    assert (await client.stats("ring"))["status"] == "mapped"
+            return True
+
+        assert asyncio.run(run())
+
+    def test_failure_before_any_map_leaves_tenant_failed(self):
+        async def run():
+            server = MapServer([RING], executor=_BrokenExecutor())
+            await server.start()
+            try:
+                outcome = await server.run_map_cycle("ring")
+                assert outcome["adopted"] is False
+                tenant = server.tenants["ring"]
+                assert tenant.status == "failed"  # nothing to degrade to
+                assert tenant.tables is None
+            finally:
+                await server.stop()
+            return True
+
+        assert asyncio.run(run())
+
+    def test_protocol_garbage_gets_an_error_frame_then_close(self):
+        async def run():
+            async with _server(RING) as (server, host, port):
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write((5).to_bytes(4, "big") + b"notjs")
+                await writer.drain()
+                response = await read_frame(reader)
+                assert response["ok"] is False
+                assert response["error"] == "protocol"
+                assert await reader.read() == b""  # server closed on us
+                writer.close()
+                await writer.wait_closed()
+            return True
+
+        assert asyncio.run(run())
+
+
+class TestStats:
+    def test_server_wide_snapshot_aggregates_tenants(self):
+        async def run():
+            async with _server(RING) as (server, host, port):
+                async with MapClient(host, port) as client:
+                    await client.map("ring")
+                    listing = await client.tenants(include_hosts=True)
+                    names = listing[0]["host_names"]
+                    hit = await client.route("ring", names[0], names[1])
+                    assert hit["ok"] is True
+                    miss = await client.route("ring", names[0], "no-such-host")
+                    assert miss["ok"] is False and miss["error"] == "no-route"
+                    snapshot = await client.stats()
+            assert snapshot["tenants"] == 1
+            assert snapshot["totals"]["maps_completed"] == 1
+            assert snapshot["totals"]["route_queries"] == 2
+            server_stats = snapshot["server"]
+            assert server_stats["requests"]["map"] == 1
+            assert server_stats["requests"]["route"] == 2
+            assert server_stats["errors"]["route"] == 1
+            lat = server_stats["latency"]["route"]
+            assert lat["n"] == 2 and lat["p99_ms"] >= lat["p50_ms"] >= 0
+            return True
+
+        assert asyncio.run(run())
+
+    def test_per_tenant_stats_expose_the_last_cycle(self):
+        async def run():
+            async with _server(RING) as (server, host, port):
+                async with MapClient(host, port) as client:
+                    await client.map("ring")
+                    stats = await client.stats("ring")
+            assert stats["maps_completed"] == 1
+            assert stats["probes_total"] > 0
+            last = stats["last_cycle"]
+            assert last["adopted"] is True
+            assert last["isomorphic"] is True and last["deadlock_free"] is True
+            assert last["eval_cache"]["hits"] >= 0
+            return True
+
+        assert asyncio.run(run())
+
+
+class TestPercentile:
+    def test_rank_statistics(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile([7.0], 0.99) == 7.0
+        samples = list(range(1, 102))  # odd count: the median is exact
+        assert percentile(samples, 0.0) == 1
+        assert percentile(samples, 1.0) == 101
+        assert percentile(samples, 0.5) == 51
+
+    def test_quantile_domain_is_checked(self):
+        with pytest.raises(ValueError, match="quantile"):
+            percentile([1.0], 1.5)

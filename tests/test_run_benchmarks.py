@@ -162,6 +162,33 @@ class TestRemapSuite:
             assert extra["probes"] < extra["scratch_probes"], name
 
 
+class TestServiceSuite:
+    """The map-service arms and the committed load-burst numbers."""
+
+    def test_both_arms_registered_and_quick_safe(self, harness):
+        assert set(harness.SERVICE_SUITE) == {
+            "service_burst_8tenants",
+            "service_route_rtt_single_tenant",
+        }
+        # CI gates on --quick: both arms must actually run there.
+        assert not set(harness.SERVICE_SUITE) & harness.SLOW_BENCHES
+
+    def test_committed_baseline_demonstrates_concurrent_serving(self):
+        """The tentpole's acceptance numbers: >= 8 tenants mapped while
+        route queries kept being answered, committed as the baseline."""
+        doc = json.loads(
+            (REPO_ROOT / "benchmarks" / "BENCH_service.json").read_text()
+        )
+        burst = doc["benchmarks"]["service_burst_8tenants"]["extra"]
+        assert burst["tenants"] >= 8
+        assert burst["maps_completed"] >= burst["tenants"]
+        assert burst["overlap_queries"] > 0
+        assert burst["maps_per_s"] > 0 and burst["routes_per_s"] > 0
+        assert burst["route_p99_ms"] >= burst["route_p50_ms"] > 0
+        rtt = doc["benchmarks"]["service_route_rtt_single_tenant"]["extra"]
+        assert rtt["queries"] > 0 and rtt["routes_per_s"] > 0
+
+
 class TestCommittedBaselines:
     @pytest.mark.parametrize(
         "name",
@@ -170,6 +197,7 @@ class TestCommittedBaselines:
             "BENCH_mapping.json",
             "BENCH_scale.json",
             "BENCH_remap.json",
+            "BENCH_service.json",
         ],
     )
     def test_baseline_is_committed_and_well_formed(self, name):

@@ -91,6 +91,79 @@ class TestDeltaJournal:
             DeltaJournal(maxlen=0)
 
 
+class TestDeltaJournalBoundaries:
+    """Edge-of-window regressions for `since`.
+
+    PR 8 made seeded remapping lean on these exact boundaries (a
+    one-entry drift silently turns every incremental cycle into a full
+    rebuild, or worse, under-invalidates); this class pins each edge so
+    an off-by-one in `record`'s eviction or `since`'s range check fails a
+    named test instead of a chaos campaign.
+    """
+
+    def test_epoch_exactly_at_window_base_merges_the_full_window(self):
+        journal = DeltaJournal(maxlen=2)
+        deltas = [Delta(removed=frozenset({("s0", p)})) for p in range(3)]
+        for d in deltas:
+            journal.record(d)
+        # Window now holds epochs 1->2 and 2->3; base == 1.
+        assert journal.window_base == 1
+        answer = journal.since(journal.window_base, 3)
+        assert answer is not None
+        assert answer.removed == {("s0", 1), ("s0", 2)}
+
+    def test_epoch_one_below_window_base_answers_none(self):
+        journal = DeltaJournal(maxlen=2)
+        for p in range(4):
+            journal.record(Delta(removed=frozenset({("s0", p)})))
+        assert journal.window_base == 2
+        assert journal.since(journal.window_base - 1, 4) is None
+        assert journal.since(journal.window_base, 4) is not None
+
+    def test_current_epoch_equality_wins_even_outside_the_window(self):
+        """epoch == current_epoch means "nothing changed since you looked";
+        that answer needs no journal entries at all, even after eviction
+        has advanced the window past every recorded epoch."""
+        journal = DeltaJournal(maxlen=1)
+        for p in range(5):
+            journal.record(Delta(removed=frozenset({("s0", p)})))
+        assert journal.since(5, 5) is EMPTY_DELTA
+
+    def test_single_entry_window_answers_only_the_last_bump(self):
+        journal = DeltaJournal(maxlen=1)
+        journal.record(Delta(removed=frozenset({("s0", 0)})))
+        journal.record(Delta(removed=frozenset({("s0", 1)})))
+        assert journal.window_base == 1
+        assert journal.since(0, 2) is None
+        assert journal.since(1, 2).removed == {("s0", 1)}
+
+    def test_nonzero_base_constructor_aligns_epoch_arithmetic(self):
+        journal = DeltaJournal(base=5)
+        assert journal.window_base == 5
+        assert journal.since(5, 5) is EMPTY_DELTA
+        journal.record(Delta(added=frozenset({("s1", 2)})))
+        assert journal.since(5, 6).added == {("s1", 2)}
+        # Epochs from before the journal existed are unanswerable.
+        assert journal.since(4, 6) is None
+
+    def test_negative_and_reversed_epochs_answer_none(self):
+        journal = DeltaJournal()
+        journal.record(EMPTY_DELTA)
+        assert journal.since(-1, 1) is None
+        assert journal.since(1, 0) is None  # caller confusion, not a window
+
+    def test_journal_ahead_of_the_owner_counter_answers_none(self):
+        """len(entries) disagreeing with current_epoch in either direction
+        means a bump bypassed the journal (or was double-journaled); both
+        drifts must be unanswerable, not just the under-journaled one."""
+        journal = DeltaJournal()
+        journal.record(Delta(removed=frozenset({("s0", 0)})))
+        journal.record(Delta(removed=frozenset({("s0", 1)})))
+        assert journal.since(0, 1) is None  # journal ahead of counter
+        assert journal.since(0, 3) is None  # journal behind the counter
+        assert journal.since(0, 2) is not None  # exactly aligned
+
+
 class TestNetworkJournal:
     def test_disconnect_journals_both_ends_as_removed(self):
         net = _net()
