@@ -7,7 +7,7 @@ topologies under the benchmark clock.
 
 import pytest
 
-from repro.core.mapper import BerkeleyMapper
+from repro.core.mapper_protocol import create_mapper
 from repro.simulator.quiescent import QuiescentProbeService
 from repro.topology.analysis import core_network, recommended_search_depth
 from repro.topology.generators import (
@@ -40,9 +40,13 @@ def test_map_larger_topology(benchmark, name):
 
     def run():
         svc = QuiescentProbeService(net, mapper)
-        return BerkeleyMapper(
-            svc, search_depth=depth, host_first=False, max_explorations=20_000
-        ).run()
+        return create_mapper(
+            "berkeley",
+            svc,
+            search_depth=depth,
+            host_first=False,
+            max_explorations=20_000,
+        ).map()
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     report = match_networks(result.network, core_network(net))

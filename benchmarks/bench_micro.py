@@ -6,7 +6,7 @@ tracking them guards against performance regressions in the simulator.
 
 import pytest
 
-from repro.core.mapper import BerkeleyMapper
+from repro.core.mapper_protocol import create_mapper
 from repro.routing.paths import all_pairs_updown_paths
 from repro.routing.updown import orient_updown
 from repro.simulator.path_eval import evaluate_route
@@ -52,7 +52,9 @@ def test_core_decomposition_subcluster(benchmark, now_c):
 
 def _map_subcluster(net, *, use_cache: bool):
     svc = QuiescentProbeService(net, "C-svc", use_cache=use_cache)
-    result = BerkeleyMapper(svc, search_depth=11, host_first=False).run()
+    result = create_mapper(
+        "berkeley", svc, search_depth=11, host_first=False
+    ).map()
     assert result.network.n_switches == 13
     return result, svc
 

@@ -106,14 +106,16 @@ def _micro_probe_pair() -> tuple[float, dict]:
 
 
 def _mapping_run(use_cache: bool, layers: tuple = ()) -> tuple[float, dict]:
-    from repro.core.mapper import BerkeleyMapper
+    from repro.core.mapper_protocol import create_mapper
     from repro.simulator.stack import build_service_stack
     from repro.topology.generators import build_subcluster
 
     net = build_subcluster("C")
     start = time.perf_counter()
     svc = build_service_stack(net, "C-svc", layers=layers, use_cache=use_cache)
-    result = BerkeleyMapper(svc, search_depth=11, host_first=False).run()
+    result = create_mapper(
+        "berkeley", svc, search_depth=11, host_first=False
+    ).map()
     elapsed = time.perf_counter() - start
     assert result.network.n_switches == 13
     extra = {"probes": result.stats.total_probes}
@@ -249,7 +251,7 @@ def _scale_map(k: int, hosts_per_edge: int | None = None) -> tuple[float, dict]:
     "point a mapper at an unknown fabric" operation — so the scale curve
     reflects what a user of the tier would actually wait for.
     """
-    from repro.core.mapper import BerkeleyMapper
+    from repro.core.mapper_protocol import create_mapper
     from repro.simulator.stack import build_service_stack
     from repro.topology.generators import (
         build_three_tier_fat_tree,
@@ -260,9 +262,9 @@ def _scale_map(k: int, hosts_per_edge: int | None = None) -> tuple[float, dict]:
     net = build_three_tier_fat_tree(k, hosts_per_edge=hosts_per_edge)
     start = time.perf_counter()
     svc = build_service_stack(net, net.hosts[0])
-    result = BerkeleyMapper(
-        svc, radix=k, search_depth=6, host_first=False
-    ).run()
+    result = create_mapper(
+        "berkeley", svc, radix=k, search_depth=6, host_first=False
+    ).map()
     report = match_networks(result.network, net)
     elapsed = time.perf_counter() - start
     assert report.isomorphic, report.reason
@@ -304,7 +306,8 @@ def _remap_single_cut(make_net, cut_end) -> tuple[float, dict]:
     ratios are recorded in the extras for the committed baseline rather
     than asserted per-run.
     """
-    from repro.core.mapper import BerkeleyMapper, MapSeed
+    from repro.core.mapper import MapSeed
+    from repro.core.mapper_protocol import create_mapper
     from repro.simulator.faults import FaultModel
     from repro.simulator.quiescent import QuiescentProbeService
     from repro.topology.analysis import recommended_search_depth
@@ -315,7 +318,7 @@ def _remap_single_cut(make_net, cut_end) -> tuple[float, dict]:
     depth = recommended_search_depth(net, h0)
     warm = QuiescentProbeService(net=net, mapper=h0, faults=FaultModel())
     epoch = net.topology_epoch
-    prior = BerkeleyMapper(warm, search_depth=depth).run()
+    prior = create_mapper("berkeley", warm, search_depth=depth).map()
 
     net.disconnect(net.wire_at(*cut_end))
     delta = net.affected_since(epoch)
@@ -323,11 +326,11 @@ def _remap_single_cut(make_net, cut_end) -> tuple[float, dict]:
 
     cold = QuiescentProbeService(net=net, mapper=h0, faults=FaultModel())
     start = time.perf_counter()
-    scratch = BerkeleyMapper(cold, search_depth=depth).run()
+    scratch = create_mapper("berkeley", cold, search_depth=depth).map()
     scratch_s = time.perf_counter() - start
     scratch_probes = scratch.stats.total_probes
 
-    seeded_mapper = BerkeleyMapper(warm, search_depth=depth)
+    seeded_mapper = create_mapper("berkeley", warm, search_depth=depth)
     seeded_mapper.seed_with(
         MapSeed(
             network=prior.network,
@@ -338,7 +341,7 @@ def _remap_single_cut(make_net, cut_end) -> tuple[float, dict]:
     )
     base = warm.stats.total_probes
     start = time.perf_counter()
-    seeded = seeded_mapper.run()
+    seeded = seeded_mapper.map()
     seconds = time.perf_counter() - start
     probes = warm.stats.total_probes - base
 

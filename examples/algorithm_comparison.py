@@ -16,12 +16,10 @@ Run:  python examples/algorithm_comparison.py
 """
 
 from repro import (
-    BerkeleyMapper,
-    MyricomMapper,
-    SelfIdMapper,
     build_service_stack,
     build_subcluster,
     core_network,
+    create_mapper,
     match_networks,
     recommended_search_depth,
 )
@@ -35,7 +33,9 @@ def compare(name: str, net, mapper_host: str) -> None:
     rows = []
 
     svc = build_service_stack(net, mapper_host)
-    berkeley = BerkeleyMapper(svc, search_depth=depth, host_first=False).run()
+    berkeley = create_mapper(
+        "berkeley", svc, search_depth=depth, host_first=False
+    ).map()
     rows.append(
         (
             "Berkeley (lazy)",
@@ -47,7 +47,7 @@ def compare(name: str, net, mapper_host: str) -> None:
     )
 
     svc = build_service_stack(net, mapper_host)
-    myricom = MyricomMapper(svc, search_depth=depth).run()
+    myricom = create_mapper("myricom", svc, search_depth=depth).run()
     rows.append(
         (
             "Myricom (eager)",
@@ -59,7 +59,7 @@ def compare(name: str, net, mapper_host: str) -> None:
     )
 
     svc = build_service_stack(net, mapper_host, service_cls=SelfIdProbeService)
-    selfid = SelfIdMapper(svc, search_depth=depth).run()
+    selfid = create_mapper("selfid", svc, search_depth=depth).run()
     rows.append(
         (
             "Self-identifying",

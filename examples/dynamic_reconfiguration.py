@@ -18,12 +18,12 @@ Run:  python examples/dynamic_reconfiguration.py
 """
 
 from repro import (
-    BerkeleyMapper,
     build_service_stack,
     all_pairs_updown_paths,
     build_subcluster,
     compile_route_tables,
     core_network,
+    create_mapper,
     match_networks,
     orient_updown,
     recommended_search_depth,
@@ -34,7 +34,9 @@ from repro import (
 def remap(actual, mapper_host: str, event: str) -> None:
     depth = recommended_search_depth(actual, mapper_host)
     svc = build_service_stack(actual, mapper_host)
-    result = BerkeleyMapper(svc, search_depth=depth, host_first=False).run()
+    result = create_mapper(
+        "berkeley", svc, search_depth=depth, host_first=False
+    ).map()
     report = match_networks(result.network, core_network(actual))
     orientation = orient_updown(result.network)
     paths = all_pairs_updown_paths(result.network, orientation)

@@ -19,12 +19,12 @@ Run:  python examples/map_and_route_now.py
 """
 
 from repro import (
-    BerkeleyMapper,
     build_service_stack,
     all_pairs_updown_paths,
     build_full_now,
     compile_route_tables,
     core_network,
+    create_mapper,
     distribute_routes,
     match_networks,
     orient_updown,
@@ -42,7 +42,9 @@ def main() -> None:
     # --- 1+2: in-band mapping -----------------------------------------
     depth = recommended_search_depth(actual, mapper_host)
     svc = build_service_stack(actual, mapper_host)
-    result = BerkeleyMapper(svc, search_depth=depth, host_first=False).run()
+    result = create_mapper(
+        "berkeley", svc, search_depth=depth, host_first=False
+    ).map()
     the_map = result.network
     assert match_networks(the_map, core_network(actual))
     print(

@@ -11,10 +11,10 @@ Run:  python examples/quickstart.py
 """
 
 from repro import (
-    BerkeleyMapper,
     build_service_stack,
     build_subcluster,
     core_network,
+    create_mapper,
     match_networks,
     recommended_search_depth,
 )
@@ -37,7 +37,9 @@ def main() -> None:
     depth = recommended_search_depth(actual, mapper_host)
     print(f"exploration depth Q+D+1 = {depth}")
 
-    result = BerkeleyMapper(probes, search_depth=depth, host_first=False).run()
+    result = create_mapper(
+        "berkeley", probes, search_depth=depth, host_first=False
+    ).map()
 
     print(f"\nmap produced: {result.network}")
     print(

@@ -9,15 +9,21 @@ routes from the map.
 Quickstart::
 
     from repro import (
-        BerkeleyMapper, build_service_stack,
+        create_mapper, build_service_stack,
         build_subcluster, recommended_search_depth, match_networks,
     )
 
     net = build_subcluster("C")                      # the paper's testbed
     svc = build_service_stack(net, "C-svc")          # in-band probe access
     depth = recommended_search_depth(net, "C-svc")   # the proven Q+D+1
-    result = BerkeleyMapper(svc, search_depth=depth).run()
+    result = create_mapper("berkeley", svc, search_depth=depth).map()
     assert match_networks(result.network, net)       # got the truth back
+
+Every discovery algorithm registers in
+:data:`repro.core.mapper_protocol.MAPPER_REGISTRY` ("berkeley",
+"berkeley-infogain", "myricom", "selfid", "coupon", "spanning-tree");
+``create_mapper(name, service, search_depth=...)`` builds any of them
+behind the same :class:`~repro.core.mapper_protocol.Mapper` protocol.
 
 Package layout:
 
@@ -36,6 +42,14 @@ Package layout:
 
 from repro.baselines import MyricomMapper, SelfIdMapper
 from repro.core import BerkeleyMapper, LabeledMapper, MapResult, MappingError
+from repro.core.mapper_protocol import (
+    MAPPER_REGISTRY,
+    Mapper,
+    MapperCapabilities,
+    MapperSpec,
+    create_mapper,
+    mapper_names,
+)
 from repro.core.remapper import RemapCycle, RemapperDaemon
 from repro.routing import (
     all_pairs_updown_paths,
@@ -74,7 +88,11 @@ __all__ = [
     "CircuitModel",
     "CutThroughModel",
     "LabeledMapper",
+    "MAPPER_REGISTRY",
     "MapResult",
+    "Mapper",
+    "MapperCapabilities",
+    "MapperSpec",
     "MappingError",
     "MapDiff",
     "MyricomMapper",
@@ -93,10 +111,12 @@ __all__ = [
     "combine_subclusters",
     "compile_route_tables",
     "core_network",
+    "create_mapper",
     "diff_networks",
     "distribute_routes",
     "isomorphic_up_to_port_offsets",
     "load_network",
+    "mapper_names",
     "match_networks",
     "orient_updown",
     "random_san",

@@ -9,6 +9,7 @@ for the full rationale of every rule.
 from __future__ import annotations
 
 import ast
+import re
 from typing import TYPE_CHECKING, Iterator
 
 from repro.analysis.diagnostics import Diagnostic
@@ -30,6 +31,7 @@ __all__ = [
     "ServiceEvaluatesViaCache",
     "SeededChaosSchedules",
     "NoAdHocServiceWrappers",
+    "MappersViaRegistry",
     "EpochSoundMutators",
     "SeededRngTaint",
     "ProbeLayerPurity",
@@ -679,6 +681,103 @@ class NoAdHocServiceWrappers(Rule):
                         stmt,
                         f"`{node.name}.{stmt.name}` re-implements a canonical "
                         "probe entry point outside the service stack",
+                    )
+
+
+@register
+class MappersViaRegistry(Rule):
+    rule_id = "SAN015"
+    title = "mappers register in MAPPER_REGISTRY and are built by name"
+    rationale = (
+        "The Mapper protocol is only a seam if every algorithm is "
+        "reachable through it: an unregistered mapper class cannot be "
+        "raced by the tournament, driven by the remap daemon or named in "
+        "a service payload, and a consumer layer that calls a concrete "
+        "constructor silently re-couples itself to one algorithm — the "
+        "exact duplication the registry replaced across the daemon, "
+        "chaos runner, workers, CLI, experiments and benchmarks."
+    )
+    hint = (
+        "decorate the class with @register_mapper(name, summary=...) and "
+        "construct through create_mapper(name, ...) / "
+        "resolve_mapper_factory(name); direct constructor calls stay "
+        "legal inside repro.core and in the module defining the class"
+    )
+
+    #: ``FooMapper`` — the naming convention every algorithm follows.
+    _MAPPER_NAME = re.compile(r"^[A-Z]\w*Mapper$")
+
+    #: Packages whose modules may construct mapper classes directly: the
+    #: algorithm internals themselves (election, parallel drivers, the
+    #: registry module). Tests are outside sanlint's scope already.
+    _CONSTRUCTION_PACKAGES = ("repro.core",)
+
+    def _is_mapper_class(self, cls: ast.ClassDef) -> bool:
+        """A class that implements the protocol (or extends a mapper).
+
+        ``map()`` is the protocol; a ``*Mapper`` base inherits it. The
+        pedagogical Section 3.1 ``LabeledMapper`` has only ``run()`` and
+        deliberately stays outside the registry.
+        """
+        if not self._MAPPER_NAME.match(cls.name):
+            return False
+        if any(
+            (base := _dotted(b)) is not None
+            and base.split(".")[-1] == "Protocol"
+            for b in cls.bases
+        ):
+            return False
+        has_map = any(
+            isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and stmt.name == "map"
+            for stmt in cls.body
+        )
+        extends_mapper = any(
+            (base := _dotted(b)) is not None
+            and self._MAPPER_NAME.match(base.split(".")[-1])
+            for b in cls.bases
+        )
+        return has_map or extends_mapper
+
+    @staticmethod
+    def _is_registered(cls: ast.ClassDef) -> bool:
+        for deco in cls.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            name = _dotted(target)
+            if name is not None and name.split(".")[-1] == "register_mapper":
+                return True
+        return False
+
+    def check(self, module: ModuleInfo) -> Iterator[Diagnostic]:
+        if module.module == "repro.core.mapper_protocol":
+            return
+        defined = {
+            node.name
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.ClassDef)
+        }
+        may_construct = module.in_package(*self._CONSTRUCTION_PACKAGES)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                if self._is_mapper_class(node) and not self._is_registered(node):
+                    yield self.diag(
+                        module,
+                        node,
+                        f"mapper class `{node.name}` is not decorated with "
+                        "@register_mapper — it is invisible to the registry",
+                    )
+            elif isinstance(node, ast.Call) and not may_construct:
+                name = _call_name(node)
+                if (
+                    name is not None
+                    and self._MAPPER_NAME.match(name)
+                    and name not in defined
+                ):
+                    yield self.diag(
+                        module,
+                        node,
+                        f"direct `{name}(...)` construction outside "
+                        "repro.core — build it by registry name instead",
                     )
 
 

@@ -36,7 +36,8 @@ import itertools
 from collections import deque
 from dataclasses import dataclass, field
 
-from repro.core.mapper import MappingError
+from repro.core.mapper import MapResult, MappingError
+from repro.core.mapper_protocol import MapperCapabilities, register_mapper
 from repro.core.planner import PortPlan
 from repro.simulator.probes import ProbeStats
 from repro.simulator.quiescent import QuiescentProbeService
@@ -101,12 +102,18 @@ class _Candidate:
     parent_turn: int
 
 
+@register_mapper(
+    "myricom",
+    summary="eager O(N²) compare-all baseline (Section 4)",
+)
 class MyricomMapper:
     """Drive the Myricom Algorithm against a probe service.
 
     Requires a service with the raw ``probe_loopback`` facility
     (:class:`~repro.simulator.quiescent.QuiescentProbeService` provides it).
     """
+
+    capabilities = MapperCapabilities()
 
     def __init__(
         self,
@@ -153,6 +160,26 @@ class MyricomMapper:
             mapper_host=self._svc.mapper_host,
             candidates_popped=self._pops,
             switches_explored=len(self._explored),
+        )
+
+    def map(self) -> MapResult:
+        """Protocol entry point: run and repackage as a ``MapResult``.
+
+        ``run`` keeps the algorithm's native :class:`MyricomResult` (the
+        Figure 10 probe breakdown); ``map`` flattens it into the common
+        shape every driver understands. Eager identification means each
+        explored switch is final — explorations and peak model size are
+        both the explored-switch count, and nothing ever merges.
+        """
+        result = self.run()
+        return MapResult(
+            network=result.network,
+            stats=result.stats,
+            mapper_host=result.mapper_host,
+            search_depth=self._depth,
+            explorations=result.switches_explored,
+            merges=0,
+            peak_model_nodes=result.switches_explored,
         )
 
     # ------------------------------------------------------------------

@@ -25,7 +25,8 @@ import itertools
 from collections import deque
 from dataclasses import dataclass
 
-from repro.core.mapper import MappingError
+from repro.core.mapper import MapResult, MappingError
+from repro.core.mapper_protocol import MapperCapabilities, register_mapper
 from repro.core.planner import PortPlan
 from repro.simulator.path_eval import PathStatus
 from repro.simulator.probes import ProbeKind, ProbeStats
@@ -87,8 +88,15 @@ class SelfIdResult:
         return self.stats.elapsed_ms
 
 
+@register_mapper(
+    "selfid",
+    summary="hypothetical self-identifying-switch BFS (Section 6)",
+    service_cls=SelfIdProbeService,
+)
 class SelfIdMapper:
     """BFS mapping with self-identifying switches: no replicates, ever."""
+
+    capabilities = MapperCapabilities()
 
     def __init__(
         self, service: SelfIdProbeService, *, search_depth: int, radix: int = 8
@@ -127,6 +135,25 @@ class SelfIdMapper:
             switches_explored=len(switches),
             pin_probes=self._pin_probes,
             unresolved_wires=self._unresolved,
+        )
+
+    def map(self) -> MapResult:
+        """Protocol entry point: run and repackage as a ``MapResult``.
+
+        Self-identification makes every switch final on first sight, so
+        explorations and peak model size both equal the switch count and
+        nothing merges (``run`` keeps the richer :class:`SelfIdResult`
+        with pin-probe and unresolved-wire counts).
+        """
+        result = self.run()
+        return MapResult(
+            network=result.network,
+            stats=result.stats,
+            mapper_host=result.mapper_host,
+            search_depth=self._depth,
+            explorations=result.switches_explored,
+            merges=0,
+            peak_model_nodes=result.switches_explored,
         )
 
     # ------------------------------------------------------------------

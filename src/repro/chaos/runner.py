@@ -39,6 +39,7 @@ from repro.chaos.scenario import (
     scenario_to_dict,
 )
 from repro.core.mapper import MappingError
+from repro.core.mapper_protocol import get_mapper_spec
 from repro.core.remapper import RemapperDaemon
 from repro.simulator.faults import FaultModel
 from repro.simulator.stack import CountingLayer, StatsLayer, build_service_stack
@@ -226,7 +227,7 @@ def _execute_cell(
     settle_cycles: int,
     probe_budget: int,
     oracles: tuple[Oracle, ...],
-    mapper_factory: Callable | None,
+    mapper_factory: Callable | str | None,
     incremental: bool,
 ) -> CellResult:
     result = CellResult(scenario, dict(topology), seed)
@@ -239,6 +240,13 @@ def _execute_cell(
     faults = FaultModel(seed=_combine_seeds(scenario.seed, seed))
     applier = ScenarioApplier(net, faults)
     midmap_events: list[ChaosEvent] = []
+    # A registry-name factory may need a specific probe-service class
+    # (e.g. "selfid"); the injected stack must provide it.
+    service_cls = (
+        get_mapper_spec(mapper_factory).service_cls
+        if isinstance(mapper_factory, str)
+        else None
+    )
 
     def service_factory(n: Network, h: str):
         # keep_trace=False: campaign cycles never read per-probe records,
@@ -251,6 +259,7 @@ def _execute_cell(
                 StatsLayer(keep_trace=False),
             ),
             faults=faults,
+            service_cls=service_cls,
         )
 
     daemon = RemapperDaemon(
@@ -342,13 +351,15 @@ def run_cell(
     probe_budget: int = 1_000_000,
     oracles: tuple[Oracle, ...] = DEFAULT_ORACLES,
     check_determinism: bool = True,
-    mapper_factory: Callable | None = None,
+    mapper_factory: Callable | str | None = None,
     incremental: bool = False,
 ) -> CellResult:
     """Run one chaos cell; optionally re-run it to prove determinism.
 
     ``mapper_factory(service, depth)`` overrides the daemon's mapper — the
-    test suite uses it to inject deliberate bugs the oracles must catch.
+    test suite uses it to inject deliberate bugs the oracles must catch,
+    and the tournament harness passes registry names to score each
+    algorithm's chaos robustness.
     ``incremental`` turns on the daemon's delta-seeded remap arm.
     """
     result = _execute_cell(
@@ -457,7 +468,7 @@ class CampaignReport:
 def run_campaign(
     config: CampaignConfig,
     *,
-    mapper_factory: Callable | None = None,
+    mapper_factory: Callable | str | None = None,
     progress: Callable[[str], None] | None = None,
 ) -> CampaignReport:
     """Sweep the full grid in deterministic order."""

@@ -6,7 +6,11 @@ Subcommands mirror the life cycle of the paper's system:
   and write it as JSON;
 - ``analyze``  — report D, Q, F and the proven search depth of a topology;
 - ``map``      — run a mapping algorithm in-band against a topology and
-  write/render the produced map;
+  write/render the produced map (``--mapper`` picks any registered
+  algorithm; ``--mapper list`` prints the registry);
+- ``tournament`` — race every registered mapper across topology families
+  and collision models, optionally gating against the committed
+  ``benchmarks/BENCH_tournament.json``;
 - ``routes``   — compute UP*/DOWN* routes from a map, verify deadlock
   freedom, optionally verify delivery against the actual topology;
 - ``experiment`` — regenerate any of the paper's tables/figures.
@@ -73,45 +77,58 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_mapper_registry() -> int:
+    from repro.core.mapper_protocol import iter_mapper_specs
+
+    specs = iter_mapper_specs()
+    name_w = max(len(s.name) for s in specs) + 2
+    caps_w = max(len(s.capabilities.summary()) for s in specs) + 2
+    print(f"{'name':<{name_w}}{'capabilities':<{caps_w}}summary")
+    for spec in specs:
+        service = (
+            f" [needs {spec.service_cls.__name__}]" if spec.service_cls else ""
+        )
+        print(
+            f"{spec.name:<{name_w}}{spec.capabilities.summary():<{caps_w}}"
+            f"{spec.summary}{service}"
+        )
+    return 0
+
+
 def _cmd_map(args: argparse.Namespace) -> int:
-    from repro.simulator.stack import build_service_stack, describe_stack
+    from repro.core.mapper_protocol import build_mapper_service, get_mapper_spec
+    from repro.simulator.stack import describe_stack
     from repro.topology.analysis import core_network, recommended_search_depth
     from repro.topology.isomorphism import match_networks
     from repro.topology.render import to_ascii
 
+    algorithm = args.mapper or args.algorithm or "berkeley"
+    if algorithm == "list":
+        return _print_mapper_registry()
+    if not args.network:
+        print("san-map: error: --network is required (except for "
+              "--mapper list)", file=sys.stderr)
+        return 2
+    spec = get_mapper_spec(algorithm)
+
     net = load_network(args.network)
-    mapper_host = args.mapper or sorted(net.hosts)[0]
+    mapper_host = args.mapper_host or sorted(net.hosts)[0]
     depth = args.depth or recommended_search_depth(net, mapper_host)
 
-    if args.algorithm == "berkeley":
-        from repro.core.mapper import BerkeleyMapper
+    kwargs = spec.accepted_kwargs({"host_first": False})
+    profiler = None
+    if args.profile and spec.capabilities.profiler:
+        from repro.core.instrumentation import PhaseProfiler
 
-        profiler = None
-        if args.profile:
-            from repro.core.instrumentation import PhaseProfiler
-
-            profiler = PhaseProfiler()
-        svc = build_service_stack(net, mapper_host)
-        result = BerkeleyMapper(
-            svc, search_depth=depth, host_first=False, profiler=profiler
-        ).run()
-        produced, stats = result.network, result.stats
-    elif args.algorithm == "myricom":
-        from repro.baselines.myricom import MyricomMapper
-
-        svc = build_service_stack(net, mapper_host)
-        result = MyricomMapper(svc, search_depth=depth).run()
-        produced, stats = result.network, result.stats
-    else:
-        from repro.baselines.selfid import SelfIdMapper, SelfIdProbeService
-
-        svc = build_service_stack(net, mapper_host, service_cls=SelfIdProbeService)
-        result = SelfIdMapper(svc, search_depth=depth).run()
-        produced, stats = result.network, result.stats
+        profiler = PhaseProfiler()
+        kwargs["profiler"] = profiler
+    svc = build_mapper_service(spec, net, mapper_host)
+    result = spec.create(svc, search_depth=depth, **kwargs).map()
+    produced, stats = result.network, result.stats
 
     if args.stack:
         print(describe_stack(svc))
-    print(f"mapped with {args.algorithm}: {produced.n_hosts} hosts, "
+    print(f"mapped with {algorithm}: {produced.n_hosts} hosts, "
           f"{produced.n_switches} switches, {produced.n_wires} wires")
     print(f"probes: {stats.total_probes} ({stats.total_hits} answered), "
           f"simulated time {stats.elapsed_ms:.1f} ms")
@@ -120,11 +137,12 @@ def _cmd_map(args: argparse.Namespace) -> int:
 
         print(cache_summary(getattr(svc, "eval_cache_stats", None)))
     if args.profile:
-        profile = getattr(result, "profile", None)
-        if profile is None:
-            print("profile: only the berkeley algorithm records phases")
+        if profiler is None:
+            print(f"profile: the {algorithm} mapper does not record phases")
         else:
-            print(profile.render())
+            profile = getattr(result, "profile", None)
+            if profile is not None:
+                print(profile.render())
     report = match_networks(produced, core_network(net))
     print(f"verified against actual core: "
           f"{'isomorphic' if report else f'MISMATCH ({report.reason})'}")
@@ -132,8 +150,38 @@ def _cmd_map(args: argparse.Namespace) -> int:
         save_network(produced, args.out)
         print(f"wrote {args.out}")
     if args.render:
-        print(to_ascii(produced, title=f"map via {args.algorithm}"))
+        print(to_ascii(produced, title=f"map via {algorithm}"))
     return 0 if report else 1
+
+
+def _cmd_tournament(args: argparse.Namespace) -> int:
+    from repro.tournament import (
+        check_report,
+        load_report,
+        run_tournament,
+        save_report,
+    )
+
+    report = run_tournament(
+        mappers=args.mappers.split(",") if args.mappers else None,
+        families=args.families.split(",") if args.families else None,
+        quick=args.quick,
+        chaos=not args.no_chaos,
+        progress=print if args.verbose else None,
+    )
+    print(report.render())
+    if args.out:
+        save_report(report, args.out)
+        print(f"wrote {args.out}")
+    if args.check_against:
+        baseline = load_report(args.check_against)
+        problems = check_report(report, baseline, tolerance=args.tolerance)
+        for line in problems:
+            print(f"  DRIFT {line}")
+        verdict = "matches" if not problems else f"{len(problems)} drifts from"
+        print(f"tournament {verdict} baseline {args.check_against}")
+        return 1 if problems else 0
+    return 0
 
 
 def _cmd_routes(args: argparse.Namespace) -> int:
@@ -359,10 +407,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_analyze)
 
     p = sub.add_parser("map", help="map a network in-band")
-    p.add_argument("--network", required=True)
-    p.add_argument("--mapper", default=None)
-    p.add_argument("--algorithm", choices=["berkeley", "myricom", "selfid"],
-                   default="berkeley")
+    p.add_argument("--network", default=None,
+                   help="topology JSON (required unless --mapper list)")
+    p.add_argument("--mapper", default=None, metavar="NAME",
+                   help="discovery algorithm registry name "
+                        "(or 'list' to print the registry)")
+    p.add_argument("--algorithm", default=None,
+                   help="back-compat alias for --mapper")
+    p.add_argument("--mapper-host", default=None,
+                   help="host to map from (default: first host)")
     p.add_argument("--depth", type=int, default=None)
     p.add_argument("--out", default=None)
     p.add_argument("--render", action="store_true")
@@ -373,6 +426,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stack", action="store_true",
                    help="print the composed probe-service layer chain")
     p.set_defaults(func=_cmd_map)
+
+    p = sub.add_parser(
+        "tournament",
+        help="race every registered mapper across topology families",
+    )
+    p.add_argument("--mappers", default=None,
+                   help="comma-separated registry names (default: all)")
+    p.add_argument("--families", default=None,
+                   help="comma-separated topology families (default: all)")
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke grid: small families, circuit model only")
+    p.add_argument("--no-chaos", action="store_true",
+                   help="skip the chaos-robustness sweep")
+    p.add_argument("--out", default=None, help="write the report JSON")
+    p.add_argument("--check-against", default=None,
+                   help="committed baseline JSON to gate probe counts, "
+                        "correctness and robustness against")
+    p.add_argument("--tolerance", type=float, default=0.0,
+                   help="relative probe-count drift allowed by "
+                        "--check-against (default: exact)")
+    p.add_argument("--verbose", action="store_true",
+                   help="print one line per cell as the grid runs")
+    p.set_defaults(func=_cmd_tournament)
 
     p = sub.add_parser("routes", help="compute deadlock-free routes from a map")
     p.add_argument("--map", required=True)

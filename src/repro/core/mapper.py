@@ -33,6 +33,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping
 
+from repro.core.mapper_protocol import MapperCapabilities, register_mapper
 from repro.core.planner import ProbePlanner
 from repro.simulator.path_eval import PathStatus, evaluate_route
 from repro.simulator.probes import ProbeService, ProbeStats
@@ -186,6 +187,10 @@ class MapSeed:
     confirm: bool = True
 
 
+@register_mapper(
+    "berkeley",
+    summary="the paper's merging-vertex algorithm (Section 3.3)",
+)
 class BerkeleyMapper:
     """Drive the production algorithm against a probe service.
 
@@ -216,6 +221,10 @@ class BerkeleyMapper:
         given, per-phase wall-clock is accumulated and snapshotted into
         ``MapResult.profile``. Purely observational.
     """
+
+    capabilities = MapperCapabilities(
+        seed_with=True, batch=True, profiler=True
+    )
 
     def __init__(
         self,
@@ -308,6 +317,15 @@ class BerkeleyMapper:
             seed_fallback=self._seed_fallback,
         )
 
+    def map(self) -> MapResult:
+        """Map the network — the :class:`Mapper` protocol entry point.
+
+        Delegates to :meth:`run`; the two are the same operation. ``run``
+        predates the protocol and stays for callers that know the
+        concrete class, ``map`` is what registry-driven drivers call.
+        """
+        return self.run()
+
     def seed_with(self, seed: MapSeed) -> None:
         """Install a prior-map seed (must be called before :meth:`run`).
 
@@ -330,7 +348,7 @@ class BerkeleyMapper:
                 and self._explorations >= self._max_explorations
             ):
                 break
-            v = self._find(self._frontier.popleft())
+            v = self._find(self._pop_frontier())
             if v.dead or v.explored or v.kind != _KIND_SWITCH:
                 continue
             if v.depth >= self._depth:
@@ -350,6 +368,16 @@ class BerkeleyMapper:
                 self._drain_mergelist()
                 prof.add("deduce", prof.clock() - t0)
             self._snapshot()
+
+    def _pop_frontier(self) -> "MergedVertex":
+        """Select the next frontier vertex to explore.
+
+        The base algorithm is strict BFS (the deque is FIFO), matching
+        the paper; the information-gain variant overrides this to
+        re-rank by expected model discrimination. Any order is sound —
+        deductions made early are never invalidated (modification 1).
+        """
+        return self._frontier.popleft()
 
     # ------------------------------------------------------------------
     # initialization & exploration

@@ -14,9 +14,14 @@ and simulations control time; a deployment would call it on a timer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Protocol
+from typing import Callable
 
-from repro.core.mapper import BerkeleyMapper, MapResult, MapSeed
+from repro.core.mapper import MapResult, MapSeed
+from repro.core.mapper_protocol import (
+    Mapper,
+    get_mapper_spec,
+    resolve_mapper_factory,
+)
 from repro.routing.compile_routes import RouteTable, compile_route_tables
 from repro.routing.deadlock import routes_deadlock_free
 from repro.routing.distribute import DistributionReport
@@ -33,11 +38,6 @@ from repro.topology.diff import MapDiff, diff_networks
 from repro.topology.model import Network
 
 __all__ = ["RemapCycle", "RemapperDaemon"]
-
-
-class _Mapper(Protocol):
-    def run(self) -> MapResult:
-        ...  # pragma: no cover - protocol
 
 
 @dataclass(slots=True)
@@ -80,6 +80,12 @@ class RemapperDaemon:
     points for harnesses that wrap the cycle (the chaos campaign runner
     injects fault models and mid-cycle event schedules through them); the
     defaults reproduce the plain quiescent daemon exactly.
+
+    ``mapper_factory`` also accepts a :data:`~repro.core.mapper_protocol.
+    MAPPER_REGISTRY` name ("berkeley", "myricom", ...): the daemon then
+    builds that algorithm each cycle — with the daemon's own defaults
+    where the algorithm's constructor accepts them — and builds its
+    probe service with the spec's required service class.
     """
 
     def __init__(
@@ -92,7 +98,7 @@ class RemapperDaemon:
         search_depth: int | None = None,
         max_explorations: int | None = 5000,
         service_factory: Callable[[Network, str], object] | None = None,
-        mapper_factory: Callable[[object, int], _Mapper] | None = None,
+        mapper_factory: Callable[[object, int], Mapper] | str | None = None,
         depth_fn: Callable[[Network, str], int] | None = None,
         faults: FaultModel | None = None,
         incremental: bool = False,
@@ -105,6 +111,11 @@ class RemapperDaemon:
         self._max_explorations = max_explorations
         self._service_factory = service_factory
         self._mapper_factory = mapper_factory
+        # A registry name may require a specific probe-service class
+        # (e.g. "selfid" -> SelfIdProbeService); resolve it once.
+        self._service_cls: type | None = None
+        if isinstance(mapper_factory, str):
+            self._service_cls = get_mapper_spec(mapper_factory).service_cls
         self._depth_fn = depth_fn
         # ``faults`` is only consulted for delta planning: when the harness
         # injects a fault model through its service factory, passing the
@@ -130,17 +141,17 @@ class RemapperDaemon:
             self._mapper_host,
             collision=self._collision,
             timing=self._timing,
+            service_cls=self._service_cls,
         )
 
-    def _build_mapper(self, svc: object, depth: int) -> _Mapper:
-        if self._mapper_factory is not None:
-            return self._mapper_factory(svc, depth)
-        return BerkeleyMapper(
-            svc,  # type: ignore[arg-type]
-            search_depth=depth,
+    def _build_mapper(self, svc: object, depth: int) -> Mapper:
+        factory = resolve_mapper_factory(
+            self._mapper_factory if self._mapper_factory is not None
+            else "berkeley",
             host_first=False,
             max_explorations=self._max_explorations,
         )
+        return factory(svc, depth)
 
     def _plan_seed(self) -> tuple[MapSeed | None, str | None]:
         """Build a seed from the previous cycle's map and the delta
@@ -208,7 +219,7 @@ class RemapperDaemon:
                 seed, plan_fallback = None, "mapper does not support seeding"
             else:
                 seeder(seed)
-        result = mapper.run()
+        result = mapper.map()
         new_map = result.network
         self._last_result = result
         self._net_epoch = net_epoch

@@ -20,12 +20,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.baselines.selfid import SelfIdMapper, SelfIdProbeService
-from repro.core.mapper import BerkeleyMapper
+from repro.baselines.selfid import SelfIdProbeService
+from repro.core.mapper_protocol import create_mapper
 from repro.core.planner import ProbePlanner
 from repro.experiments.common import system
 from repro.experiments.tables import print_table
-from repro.extensions.randomized import CouponMapper
 from repro.simulator.collision import CircuitModel, CutThroughModel
 from repro.simulator.stack import build_service_stack
 from repro.topology.isomorphism import match_networks
@@ -69,12 +68,13 @@ def run(name: str = "C+A+B") -> list[AblationRow]:
         svc = build_service_stack(fixture.net, fixture.mapper_host)
         record(
             label,
-            BerkeleyMapper(
+            create_mapper(
+                "berkeley",
                 svc,
                 search_depth=fixture.search_depth,
                 host_first=False,
                 planner=ProbePlanner(heuristic=heuristic),
-            ).run(),
+            ).map(),
         )
 
     # 2. collision models
@@ -88,9 +88,10 @@ def run(name: str = "C+A+B") -> list[AblationRow]:
         )
         record(
             label,
-            BerkeleyMapper(
-                svc, search_depth=fixture.search_depth, host_first=False
-            ).run(),
+            create_mapper(
+                "berkeley", svc, search_depth=fixture.search_depth,
+                host_first=False,
+            ).map(),
         )
 
     # 3. probe-pair order
@@ -98,9 +99,10 @@ def run(name: str = "C+A+B") -> list[AblationRow]:
         svc = build_service_stack(fixture.net, fixture.mapper_host)
         record(
             label,
-            BerkeleyMapper(
-                svc, search_depth=fixture.search_depth, host_first=host_first
-            ).run(),
+            create_mapper(
+                "berkeley", svc, search_depth=fixture.search_depth,
+                host_first=host_first,
+            ).map(),
         )
 
     # 4. coupon-collecting seeding (with the Section 6 firmware change:
@@ -111,14 +113,15 @@ def run(name: str = "C+A+B") -> list[AblationRow]:
         svc = build_service_stack(
             fixture.net, fixture.mapper_host, service_cls=EarlyHostProbeService
         )
-        mapper = CouponMapper(
+        mapper = create_mapper(
+            "coupon",
             svc,
             search_depth=fixture.search_depth,
             host_first=False,
             coupon_probes=n,
             coupon_seed=7,
         )
-        record(f"coupon seeding: {n} probes", mapper.run())
+        record(f"coupon seeding: {n} probes", mapper.map())
 
     # 5. self-identifying switches (lower bound)
     svc = build_service_stack(
@@ -126,7 +129,7 @@ def run(name: str = "C+A+B") -> list[AblationRow]:
     )
     record(
         "self-identifying switches",
-        SelfIdMapper(svc, search_depth=fixture.search_depth).run(),
+        create_mapper("selfid", svc, search_depth=fixture.search_depth).map(),
     )
     return rows
 

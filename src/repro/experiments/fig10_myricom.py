@@ -17,8 +17,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import cast
+
 from repro.baselines.myricom import MyricomMapper, ProbeBreakdown
-from repro.core.mapper import BerkeleyMapper
+from repro.core.mapper_protocol import create_mapper
 from repro.experiments.common import PAPER, SYSTEMS, system
 from repro.experiments.tables import print_table
 from repro.simulator.stack import build_service_stack
@@ -53,11 +55,17 @@ def run(systems=SYSTEMS) -> list[MyricomRow]:
     for name in systems:
         fixture = system(name)
         svc_b = build_service_stack(fixture.net, fixture.mapper_host)
-        berkeley = BerkeleyMapper(
-            svc_b, search_depth=fixture.search_depth, host_first=False
-        ).run()
+        berkeley = create_mapper(
+            "berkeley", svc_b, search_depth=fixture.search_depth,
+            host_first=False,
+        ).map()
         svc_m = build_service_stack(fixture.net, fixture.mapper_host)
-        myricom = MyricomMapper(svc_m, search_depth=fixture.search_depth).run()
+        # The per-category probe breakdown only exists on the native
+        # result, so drop from the protocol to the concrete runner here.
+        myricom = cast(
+            MyricomMapper,
+            create_mapper("myricom", svc_m, search_depth=fixture.search_depth),
+        ).run()
         rows.append(
             MyricomRow(
                 system=name,

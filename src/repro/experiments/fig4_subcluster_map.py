@@ -12,7 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.instrumentation import cache_summary
-from repro.core.mapper import BerkeleyMapper, MapResult
+from repro.core.mapper import MapResult
+from repro.core.mapper_protocol import create_mapper
 from repro.experiments.common import system
 from repro.simulator.path_eval import EvalCacheStats
 from repro.simulator.stack import build_service_stack
@@ -35,9 +36,9 @@ class MapExperiment:
 def run(name: str = "C") -> MapExperiment:
     fixture = system(name)
     svc = build_service_stack(fixture.net, fixture.mapper_host)
-    result = BerkeleyMapper(
-        svc, search_depth=fixture.search_depth, host_first=False
-    ).run()
+    result = create_mapper(
+        "berkeley", svc, search_depth=fixture.search_depth, host_first=False
+    ).map()
     verification = match_networks(result.network, fixture.core)
     return MapExperiment(
         system=name,

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.mapper import BerkeleyMapper
+from repro.core.mapper_protocol import create_mapper
 from repro.experiments.common import PAPER, SYSTEMS, system
 from repro.experiments.tables import print_table
 from repro.simulator.stack import TraceBusLayer, build_service_stack
@@ -45,9 +45,10 @@ def run(*, host_first: bool = False) -> list[ProbeCountRow]:
     for name in SYSTEMS:
         fixture = system(name)
         svc = build_service_stack(fixture.net, fixture.mapper_host)
-        result = BerkeleyMapper(
-            svc, search_depth=fixture.search_depth, host_first=host_first
-        ).run()
+        result = create_mapper(
+            "berkeley", svc, search_depth=fixture.search_depth,
+            host_first=host_first,
+        ).map()
         s = result.stats
         rows.append(
             ProbeCountRow(
@@ -80,9 +81,9 @@ def probe_length_histogram(name: str = "C") -> str:
         fixture.mapper_host,
         layers=(TraceBusLayer((recorder,)),),
     )
-    BerkeleyMapper(
-        svc, search_depth=fixture.search_depth, host_first=False
-    ).run()
+    create_mapper(
+        "berkeley", svc, search_depth=fixture.search_depth, host_first=False
+    ).map()
     analysis = analyze_records(recorder.records)
     return (
         analysis.histogram()

@@ -14,7 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.mapper import BerkeleyMapper, GrowthSample, MapResult
+from repro.core.mapper import GrowthSample, MapResult
+from repro.core.mapper_protocol import create_mapper
 from repro.experiments.common import PAPER, system
 from repro.experiments.tables import print_table
 from repro.simulator.stack import build_service_stack
@@ -37,12 +38,13 @@ class GrowthExperiment:
 def run(name: str = "C+A+B") -> GrowthExperiment:
     fixture = system(name)
     svc = build_service_stack(fixture.net, fixture.mapper_host)
-    result = BerkeleyMapper(
+    result = create_mapper(
+        "berkeley",
         svc,
         search_depth=fixture.search_depth,
         host_first=False,
         record_growth=True,
-    ).run()
+    ).map()
     samples = result.growth
     return GrowthExperiment(
         system=name,

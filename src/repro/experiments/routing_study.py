@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.mapper import BerkeleyMapper
+from repro.core.mapper_protocol import create_mapper
 from repro.experiments.common import SYSTEMS, system
 from repro.experiments.tables import print_table
 from repro.routing import (
@@ -51,9 +51,10 @@ def run(systems=SYSTEMS) -> list[RoutingRow]:
     for name in systems:
         fixture = system(name)
         svc = build_service_stack(fixture.net, fixture.mapper_host)
-        result = BerkeleyMapper(
-            svc, search_depth=fixture.search_depth, host_first=False
-        ).run()
+        result = create_mapper(
+            "berkeley", svc, search_depth=fixture.search_depth,
+            host_first=False,
+        ).map()
         m = result.network
         orientation = orient_updown(m)
         paths = all_pairs_updown_paths(m, orientation)

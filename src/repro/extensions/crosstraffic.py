@@ -26,7 +26,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.mapper import BerkeleyMapper, MappingError
+from repro.core.mapper import MappingError
+from repro.core.mapper_protocol import create_mapper
 from repro.simulator.collision import CircuitModel, CollisionModel
 from repro.simulator.occupancy import ChannelOccupancy
 from repro.simulator.stack import (
@@ -138,9 +139,9 @@ def crosstraffic_study(
             interference = svc.find_layer(InterferenceLayer)
             error = ""
             try:
-                result = BerkeleyMapper(
-                    svc, search_depth=search_depth, host_first=False
-                ).run()
+                result = create_mapper(
+                    "berkeley", svc, search_depth=search_depth, host_first=False
+                ).map()
                 produced = result.network
                 correct = bool(match_networks(produced, core))
             except MappingError as exc:  # pragma: no cover - defensive

@@ -30,7 +30,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.mapper import BerkeleyMapper, MappingError
+from repro.core.mapper import MappingError
+from repro.core.mapper_protocol import create_mapper
 from repro.simulator.collision import CircuitModel, CollisionModel
 from repro.simulator.stack import build_service_stack
 from repro.simulator.timing import MYRINET_TIMING, TimingModel
@@ -73,12 +74,13 @@ def map_local_region(
     svc = build_service_stack(
         net, mapper_host, collision=collision or CircuitModel(), timing=timing
     )
-    result = BerkeleyMapper(
+    result = create_mapper(
+        "berkeley",
         svc,
         search_depth=local_depth,
         host_first=False,
         max_explorations=max_explorations,
-    ).run()
+    ).map()
     return PartialMap(
         owner=mapper_host,
         network=result.network,

@@ -30,6 +30,7 @@ from __future__ import annotations
 import random
 
 from repro.core.mapper import BerkeleyMapper
+from repro.core.mapper_protocol import register_mapper
 from repro.simulator.path_eval import PathStatus
 from repro.simulator.probes import ProbeKind
 from repro.simulator.quiescent import QuiescentProbeService
@@ -82,8 +83,18 @@ _KIND_SWITCH = "switch"
 _KIND_HOST = "host"
 
 
+@register_mapper(
+    "coupon",
+    summary="coupon-collecting random seeding + Berkeley BFS (Section 6)",
+    service_cls=EarlyHostProbeService,
+)
 class CouponMapper(BerkeleyMapper):
-    """Berkeley mapper with a coupon-collecting random seeding phase."""
+    """Berkeley mapper with a coupon-collecting random seeding phase.
+
+    Capabilities are inherited from :class:`BerkeleyMapper` — the coupon
+    phase only pre-seeds the model graph; seeding, batching and
+    profiling all still apply to the BFS phase.
+    """
 
     def __init__(
         self,

@@ -1,0 +1,392 @@
+"""Spanning-tree-first mapping (after Casteigts et al.'s local views).
+
+A genuinely different point in the discovery design space from both the
+Berkeley algorithm (lazy merging driven by deductions) and the Myricom
+algorithm (eager O(N) comparison sweeps per candidate):
+
+1. **Grow a BFS spanning tree.** Pop a candidate wire off the frontier,
+   walk through it and explore the far switch completely (the same
+   window-pruned host/switch probe pairs as everyone else). The first
+   wire that discovers a switch becomes its *tree edge*; every later
+   wire landing on an already-known switch is a *cross edge*.
+2. **Recognize, don't compare-all.** A freshly explored view is matched
+   against known switches by its *local view*, cheapest evidence first:
+
+   * **Host anchors** — host names are globally unique, so one shared
+     host pins the identity *and* the port offset with zero extra
+     probes (the Lemma 3 anchor, used eagerly).
+   * **Port signatures** — exploration is complete (the entry-port
+     window only skips turns that are guaranteed illegal), so two views
+     of one physical switch see the same used-port pattern up to a
+     shift. The shift is forced: minimum used index must map to
+     minimum used index. A single shift-aligned loopback probe
+     ``route_B + (x,) + reverse(route_C)`` (the Myricom comparison
+     probe, but exactly one per signature-compatible switch instead of
+     an X-sweep against every explored switch) confirms or refutes.
+
+3. **Resolve cross edges once.** When a candidate's far end is
+   recognized, both port records are written; the mirror candidate for
+   the same physical wire — still queued from the other side — is
+   skipped on pop without spending a single probe.
+
+Like the Myricom baseline this needs the raw ``probe_loopback``
+facility; unlike it, comparison cost is proportional to signature
+collisions, not to the number of explored switches.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.mapper import MapResult, MappingError
+from repro.core.mapper_protocol import MapperCapabilities, register_mapper
+from repro.core.planner import PortPlan
+from repro.simulator.probes import ProbeStats
+from repro.simulator.quiescent import QuiescentProbeService
+from repro.simulator.turns import Turns, reverse_turns
+from repro.topology.model import Network
+
+__all__ = ["SpanningTreeMapper", "SpanningTreeResult"]
+
+
+@dataclass(slots=True)
+class SpanningTreeResult:
+    """Native output of a spanning-tree mapping run."""
+
+    network: Network
+    stats: ProbeStats
+    mapper_host: str
+    #: Switches explored (tree nodes plus merged-away duplicate views).
+    explorations: int
+    #: Views recognized as an already-known switch (cross-edge far ends).
+    merges: int
+    #: Mirror candidates skipped because their wire was already resolved
+    #: from the other side — the probes the tree structure saved.
+    skipped_candidates: int
+    #: Identity-confirmation loopback probes sent.
+    sweep_probes: int
+
+    @property
+    def elapsed_ms(self) -> float:
+        return self.stats.elapsed_ms
+
+
+class _StSwitch:
+    """A switch view: route, relative-port knowledge, union-find alias."""
+
+    __slots__ = ("sid", "route", "ports", "used")
+
+    def __init__(self, sid: int, route: Turns) -> None:
+        self.sid = sid
+        self.route = route
+        #: rel index (port - entry port) ->
+        #: ("host", name) | ("switch", _StSwitch, rel-at-far-switch)
+        #: Holds only *resolved* wires; switch-hits whose far end is
+        #: still a queued candidate are in ``used`` but not here yet.
+        #: Views recognized as duplicates are discarded outright (their
+        #: evidence folds into the adopted switch), so every reference
+        #: here points at an adopted switch — no aliasing needed.
+        self.ports: dict[int, tuple] = {}
+        #: Complete used-port pattern from this view's exploration.
+        self.used: frozenset[int] = frozenset()
+
+    @property
+    def depth(self) -> int:
+        return len(self.route)
+
+
+@dataclass(slots=True)
+class _Candidate:
+    route: Turns
+    parent: _StSwitch
+    parent_turn: int
+
+
+@dataclass(slots=True)
+class _View:
+    """One completed exploration, pre-recognition."""
+
+    route: Turns
+    hosts: dict[int, str] = field(default_factory=dict)
+    switch_turns: list[int] = field(default_factory=list)
+
+    def used(self) -> list[int]:
+        return sorted(set(self.hosts) | set(self.switch_turns) | {0})
+
+
+@register_mapper(
+    "spanning-tree",
+    summary="BFS tree + local-view recognition (after Casteigts et al.)",
+)
+class SpanningTreeMapper:
+    """Drive the spanning-tree-first algorithm against a probe service.
+
+    Requires a service with the raw ``probe_loopback`` facility
+    (:class:`~repro.simulator.quiescent.QuiescentProbeService`).
+    """
+
+    capabilities = MapperCapabilities()
+
+    def __init__(
+        self,
+        service: QuiescentProbeService,
+        *,
+        search_depth: int,
+        radix: int = 8,
+    ) -> None:
+        if search_depth < 1:
+            raise ValueError("search_depth must be at least 1")
+        self._svc = service
+        self._depth = search_depth
+        self._radix = radix
+        self._ids = itertools.count()
+        self._switches: list[_StSwitch] = []
+        self._hosts: dict[str, tuple[_StSwitch, int]] = {}
+        self._sigs: dict[tuple, list[_StSwitch]] = {}
+        self._explorations = 0
+        self._merges = 0
+        self._skipped = 0
+        self._sweeps = 0
+
+    # ------------------------------------------------------------------
+    def run(self) -> SpanningTreeResult:
+        root = _StSwitch(next(self._ids), ())
+        root.ports[0] = ("host", self._svc.mapper_host)
+        self._hosts[self._svc.mapper_host] = (root, 0)
+        frontier: deque[_Candidate] = deque()
+        view = self._explore(())
+        self._adopt(root, view)
+        self._enqueue_children(root, view, frontier)
+        while frontier:
+            cand = frontier.popleft()
+            parent, pturn = cand.parent, cand.parent_turn
+            if parent.ports.get(pturn) is not None:
+                # The wire was already resolved from its other end — the
+                # cross-edge dedup that makes the tree structure pay.
+                self._skipped += 1
+                continue
+            view = self._explore(cand.route)
+            known = self._recognize(view)
+            if known is None:
+                sw = _StSwitch(next(self._ids), cand.route)
+                self._adopt(sw, view)
+                self._record(parent, pturn, sw, 0)
+                if sw.depth < self._depth:
+                    self._enqueue_children(sw, view, frontier)
+            else:
+                far, shift = known
+                self._merges += 1
+                self._record(parent, pturn, far, shift)
+        network = self._build()
+        return SpanningTreeResult(
+            network=network,
+            stats=self._svc.stats.snapshot(),
+            mapper_host=self._svc.mapper_host,
+            explorations=self._explorations,
+            merges=self._merges,
+            skipped_candidates=self._skipped,
+            sweep_probes=self._sweeps,
+        )
+
+    def map(self) -> MapResult:
+        """Protocol entry point: run and repackage as a ``MapResult``."""
+        result = self.run()
+        return MapResult(
+            network=result.network,
+            stats=result.stats,
+            mapper_host=result.mapper_host,
+            search_depth=self._depth,
+            explorations=result.explorations,
+            merges=result.merges,
+            peak_model_nodes=len(self._switches),
+        )
+
+    # ------------------------------------------------------------------
+    # exploration: complete the local view of the switch at ``route``
+    # ------------------------------------------------------------------
+    def _explore(self, route: Turns) -> _View:
+        view = _View(route)
+        plan = PortPlan(radix=self._radix)
+        plan.feed(0, True)  # the wire we came in on
+        self._explorations += 1
+        while (turn := plan.next_turn()) is not None:
+            probe = route + (turn,)
+            host = self._svc.probe_host(probe)
+            if host is not None:
+                plan.feed(turn, True)
+                if host in view.hosts.values():
+                    raise MappingError(
+                        f"host {host} appeared on two ports of one switch; "
+                        "violates the single-attachment assumption"
+                    )
+                view.hosts[turn] = host
+                continue
+            if self._svc.probe_switch(probe):
+                plan.feed(turn, True)
+                view.switch_turns.append(turn)
+            else:
+                plan.feed(turn, False)
+        return view
+
+    # ------------------------------------------------------------------
+    # recognition: is this view an already-known switch?
+    # ------------------------------------------------------------------
+    def _signature(self, used: list[int], hosts: dict[int, str]) -> tuple:
+        """Shift-invariant local view: used-port gaps plus host labels."""
+        lo = used[0]
+        return tuple(
+            (i - lo, hosts.get(i, "")) for i in used
+        )
+
+    def _recognize(self, view: _View) -> tuple[_StSwitch, int] | None:
+        """Match a completed view against known switches.
+
+        Returns ``(switch, shift)`` — view index i is switch index
+        i + shift — or None for a genuinely new switch.
+        """
+        used = view.used()
+        # Host anchor: a shared unique host name pins switch and shift.
+        for i in sorted(view.hosts):
+            entry = self._hosts.get(view.hosts[i])
+            if entry is not None:
+                far, j = entry
+                shift = j - i
+                self._check_alignment(view, used, far, shift)
+                return far, shift
+        # Signature + one shift-aligned confirmation probe per collision.
+        sig = self._signature(used, view.hosts)
+        peers = list(self._sigs.get(sig, ()))
+        peers.sort(key=lambda s: (abs(s.depth - len(view.route)), s.sid))
+        for peer in peers:
+            shift = min(peer.used) - used[0]
+            if self._confirm(view.route, peer, shift):
+                return peer, shift
+        return None
+
+    def _check_alignment(
+        self, view: _View, used: list[int], far: _StSwitch, shift: int
+    ) -> None:
+        """A host-anchored merge must align both complete views exactly."""
+        if frozenset(i + shift for i in used) != far.used:
+            raise MappingError(
+                f"host anchor aligns switch views with different port "
+                f"patterns (shift {shift} onto switch-{far.sid})"
+            )
+        for i, name in view.hosts.items():
+            entry = self._hosts.get(name)
+            if entry is None or entry != (far, i + shift):
+                raise MappingError(
+                    f"host {name} does not sit where the anchored far "
+                    f"view recorded it"
+                )
+
+    def _confirm(self, route: Turns, peer: _StSwitch, shift: int) -> bool:
+        """One loopback probe: does ``route`` enter ``peer`` at rel -x?
+
+        The comparison probe is the Myricom ``route + (X,) +
+        reverse(peer.route)`` with X fixed to ``-shift`` — the only
+        shift compatible with the signatures — so each signature
+        collision costs one probe, not an X-sweep.
+        """
+        x = -shift
+        if abs(x) >= self._radix:
+            return False
+        self._sweeps += 1
+        return self._svc.probe_loopback(
+            route + (x,) + reverse_turns(peer.route)
+        )
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def _adopt(self, sw: _StSwitch, view: _View) -> None:
+        """Commit a completed view as a new (tree) switch."""
+        used = view.used()
+        if used[-1] - used[0] >= self._radix:
+            raise MappingError(
+                f"switch-{sw.sid} spans more ports than the radix"
+            )
+        sw.used = frozenset(used)
+        for i, name in view.hosts.items():
+            if name in self._hosts:
+                raise MappingError(
+                    f"host {name} appeared on two switches; violates "
+                    "the single-attachment assumption"
+                )
+            sw.ports[i] = ("host", name)
+            self._hosts[name] = (sw, i)
+        self._switches.append(sw)
+        self._sigs.setdefault(self._signature(used, view.hosts), []).append(sw)
+
+    def _enqueue_children(
+        self, sw: _StSwitch, view: _View, frontier: deque[_Candidate]
+    ) -> None:
+        for turn in sorted(view.switch_turns):
+            frontier.append(_Candidate(sw.route + (turn,), sw, turn))
+
+    def _record(
+        self, parent: _StSwitch, pturn: int, child: _StSwitch, crel: int
+    ) -> None:
+        """Conflict-checked double-entry wire record (both port views)."""
+        self._set_port(parent, pturn, ("switch", child, crel))
+        self._set_port(child, crel, ("switch", parent, pturn))
+
+    def _set_port(self, sw: _StSwitch, rel: int, entry: tuple) -> None:
+        existing = sw.ports.get(rel)
+        if existing is None:
+            sw.ports[rel] = entry
+            return
+        if existing[0] != entry[0]:
+            raise MappingError(
+                f"switch-{sw.sid} port resolved to two different far "
+                f"ends: {existing[0]} vs {entry[0]}"
+            )
+        if entry[0] == "switch":
+            if existing[1] is not entry[1] or existing[2] != entry[2]:
+                raise MappingError(
+                    f"switch-{sw.sid} port resolved to two different "
+                    f"far switches"
+                )
+        elif existing[1] != entry[1]:
+            raise MappingError(
+                f"switch-{sw.sid} port resolved to two different hosts"
+            )
+
+    # ------------------------------------------------------------------
+    # map assembly
+    # ------------------------------------------------------------------
+    def _build(self) -> Network:
+        net = Network(default_radix=self._radix)
+        live = self._switches
+        names = {s.sid: f"switch-{s.sid}" for s in live}
+        offsets: dict[int, int] = {}
+        for sw in live:
+            used = sorted(sw.ports)
+            if used[-1] - used[0] >= self._radix:
+                raise MappingError(
+                    f"{names[sw.sid]} spans more ports than the radix"
+                )
+            offsets[sw.sid] = -used[0]
+            net.add_switch(names[sw.sid], radix=self._radix)
+        for host in self._hosts:
+            net.add_host(host)
+        seen: set[frozenset] = set()
+        for sw in live:
+            for rel in sorted(sw.ports):
+                entry = sw.ports[rel]
+                port = rel + offsets[sw.sid]
+                if entry[0] == "host":
+                    end_a = (names[sw.sid], port)
+                    end_b = (entry[1], 0)
+                else:
+                    far, frel = entry[1], entry[2]
+                    end_a = (names[sw.sid], port)
+                    end_b = (names[far.sid], frel + offsets[far.sid])
+                key = frozenset((end_a, end_b))
+                if key in seen:
+                    continue
+                seen.add(key)
+                net.connect(end_a[0], end_a[1], end_b[0], end_b[1])
+        return net

@@ -54,7 +54,8 @@ def run_map_job(payload: dict) -> dict:
 
     from repro.chaos.oracles import effective_network
     from repro.core.instrumentation import analyze_records
-    from repro.core.mapper import BerkeleyMapper, MapSeed, MappingError
+    from repro.core.mapper import MapSeed, MappingError
+    from repro.core.mapper_protocol import UnknownMapperError, get_mapper_spec
     from repro.routing.compile_routes import compile_route_tables
     from repro.routing.deadlock import routes_deadlock_free
     from repro.routing.paths import all_pairs_updown_paths
@@ -109,14 +110,26 @@ def run_map_job(payload: dict) -> dict:
 
     records: list = []
     bus = TraceBusLayer((records.append,))
+    try:
+        spec = get_mapper_spec(payload.get("mapper_algorithm", "berkeley"))
+    except UnknownMapperError as exc:
+        return _mapping_failure(payload, "bad-payload", str(exc))
     svc = build_service_stack(
-        net, mapper_host, layers=(bus,), faults=faults
+        net,
+        mapper_host,
+        layers=(bus,),
+        faults=faults,
+        service_cls=spec.service_cls,
     )
-    mapper = BerkeleyMapper(
+    mapper = spec.create(
         svc,
         search_depth=depth,
-        host_first=False,
-        max_explorations=payload.get("max_explorations", 20000),
+        **spec.accepted_kwargs(
+            {
+                "host_first": False,
+                "max_explorations": payload.get("max_explorations", 20000),
+            }
+        ),
     )
     if "map_seed" in payload:
         seed_doc = payload["map_seed"]
@@ -127,7 +140,14 @@ def run_map_job(payload: dict) -> dict:
             )
         except (KeyError, TypeError, ValueError) as exc:
             return _mapping_failure(payload, "bad-seed", str(exc))
-        mapper.seed_with(
+        seeder = getattr(mapper, "seed_with", None)
+        if seeder is None:
+            return _mapping_failure(
+                payload,
+                "bad-seed",
+                "requested mapper algorithm does not support seeding",
+            )
+        seeder(
             MapSeed(
                 network=prior.network,
                 witnesses=prior.witnesses,
@@ -136,7 +156,7 @@ def run_map_job(payload: dict) -> dict:
             )
         )
     try:
-        result = mapper.run()
+        result = mapper.map()
     except MappingError as exc:
         return _mapping_failure(payload, "mapping-failed", str(exc))
 

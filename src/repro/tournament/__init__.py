@@ -1,0 +1,32 @@
+"""Mapper tournament: race every registered algorithm across topologies.
+
+See :mod:`repro.tournament.harness` for the grid and the regression gate,
+:mod:`repro.tournament.families` for the topology columns.
+"""
+
+from repro.tournament.families import FAMILIES, Family, family_names, get_family
+from repro.tournament.harness import (
+    COLLISIONS,
+    RobustnessRow,
+    TournamentCell,
+    TournamentReport,
+    check_report,
+    load_report,
+    run_tournament,
+    save_report,
+)
+
+__all__ = [
+    "COLLISIONS",
+    "FAMILIES",
+    "Family",
+    "RobustnessRow",
+    "TournamentCell",
+    "TournamentReport",
+    "check_report",
+    "family_names",
+    "get_family",
+    "load_report",
+    "run_tournament",
+    "save_report",
+]

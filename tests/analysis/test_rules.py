@@ -115,6 +115,11 @@ BAD_SNIPPETS = {
             def after(self, ctx):
                 ctx.service.faults.drop_prob = 0.5
     """,
+    "SAN015": """
+        class GreedyMapper:
+            def map(self):
+                return None
+    """,
 }
 
 
@@ -137,13 +142,14 @@ def test_every_diag_carries_the_rules_hint(rule_id):
     assert "hint:" not in diag.render(show_hint=False)
 
 
-def test_registry_has_the_fourteen_domain_rules():
+def test_registry_has_the_fifteen_domain_rules():
     assert all_rule_ids() == [f"SAN00{i}" for i in range(1, 10)] + [
         "SAN010",
         "SAN011",
         "SAN012",
         "SAN013",
         "SAN014",
+        "SAN015",
     ]
 
 
@@ -526,3 +532,76 @@ def test_san011_allows_new_probe_kinds_on_subclasses():
                 return ctx.payload if ctx.hit else None
     """
     assert ids(lint(src, module="repro.baselines.selfid")) == []
+
+
+def test_san015_registered_class_and_pedagogical_run_only_are_quiet():
+    registered = """
+        from repro.core.mapper_protocol import register_mapper
+
+        @register_mapper("greedy", summary="greedy probing")
+        class GreedyMapper:
+            def map(self):
+                return None
+    """
+    assert ids(lint(registered, module="repro.extensions.greedy")) == []
+    # LabeledMapper-style: run() only, never enters the registry.
+    pedagogical = """
+        class TeachingMapper:
+            def run(self):
+                return None
+    """
+    assert ids(lint(pedagogical)) == []
+
+
+def test_san015_subclass_of_a_mapper_must_register():
+    src = """
+        from repro.core.mapper import BerkeleyMapper
+
+        class TweakedMapper(BerkeleyMapper):
+            pass
+    """
+    assert ids(lint(src, module="repro.extensions.tweaked")) == ["SAN015"]
+
+
+def test_san015_construction_only_in_core_or_the_defining_module():
+    call = """
+        from repro.core.mapper import BerkeleyMapper
+
+        def run(svc, depth):
+            return BerkeleyMapper(svc, search_depth=depth).run()
+    """
+    assert ids(lint(call, module="repro.experiments.fig4")) == ["SAN015"]
+    assert ids(lint(call, module="repro.core.election")) == []
+    via_registry = """
+        from repro.core.mapper_protocol import create_mapper
+
+        def run(svc, depth):
+            return create_mapper("berkeley", svc, search_depth=depth).map()
+    """
+    assert ids(lint(via_registry, module="repro.experiments.fig4")) == []
+
+
+def test_san015_defining_module_may_construct_its_own_class():
+    src = """
+        from repro.core.mapper_protocol import register_mapper
+
+        @register_mapper("greedy", summary="greedy probing")
+        class GreedyMapper:
+            def map(self):
+                return None
+
+        def quick_map(svc, depth):
+            return GreedyMapper(svc, search_depth=depth).map()
+    """
+    assert ids(lint(src, module="repro.extensions.greedy")) == []
+
+
+def test_san015_protocol_declarations_are_exempt():
+    src = """
+        from typing import Protocol
+
+        class RichMapper(Protocol):
+            def map(self):
+                ...
+    """
+    assert ids(lint(src, module="repro.extensions.api")) == []

@@ -1,0 +1,189 @@
+"""Protocol-conformance suite: every registered mapper through one door.
+
+Each registry entry must (1) build through ``create_mapper``/
+``MapperSpec.create``, (2) return a ``MapResult`` whose network is
+isomorphic to the actual core on the paper's testbeds, (3) honor its
+declared capability flags (absent features raise ``TypeError`` at
+construction, they are not silently dropped), and (4) be byte-for-byte
+deterministic across runs. A final guard pins registry-built Berkeley to
+the committed Figure 4/5 probe counts so the refactor can never drift
+the paper numbers.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.mapper import BerkeleyMapper, MapResult
+from repro.core.mapper_protocol import (
+    Mapper,
+    UnknownMapperError,
+    build_mapper_service,
+    create_mapper,
+    get_mapper_spec,
+    mapper_names,
+    resolve_mapper_factory,
+)
+from repro.simulator.stack import build_service_stack
+from repro.topology.analysis import core_network, recommended_search_depth
+from repro.topology.generators import build_full_now, build_subcluster
+from repro.topology.isomorphism import match_networks
+from repro.topology.serialize import network_to_dict
+
+ALL_MAPPERS = [
+    "berkeley",
+    "berkeley-infogain",
+    "coupon",
+    "myricom",
+    "selfid",
+    "spanning-tree",
+]
+
+
+def _map_once(name: str, net, host: str) -> MapResult:
+    spec = get_mapper_spec(name)
+    svc = build_mapper_service(spec, net, host)
+    depth = recommended_search_depth(net, host)
+    kwargs = spec.accepted_kwargs({"host_first": False})
+    return spec.create(svc, search_depth=depth, **kwargs).map()
+
+
+@pytest.fixture(scope="module")
+def now_results():
+    """One full-NOW mapping per registered algorithm, shared module-wide."""
+    net = build_full_now()
+    return net, {name: _map_once(name, net, "C-svc") for name in ALL_MAPPERS}
+
+
+def test_registry_lists_every_builtin_algorithm():
+    assert mapper_names() == ALL_MAPPERS
+
+
+def test_unknown_name_raises_with_the_known_names():
+    with pytest.raises(UnknownMapperError) as exc:
+        get_mapper_spec("gradient-descent")
+    assert "berkeley" in str(exc.value)
+
+
+@pytest.mark.parametrize("name", ALL_MAPPERS)
+def test_maps_subcluster_c_isomorphically(name):
+    net = build_subcluster("C")
+    result = _map_once(name, net, "C-svc")
+    mapper = create_mapper(
+        name,
+        build_mapper_service(name, net, "C-svc"),
+        search_depth=recommended_search_depth(net, "C-svc"),
+    )
+    assert isinstance(mapper, Mapper)
+    assert isinstance(result, MapResult)
+    report = match_networks(result.network, core_network(net))
+    assert report, f"{name}: {report.reason}"
+
+
+@pytest.mark.parametrize("name", ALL_MAPPERS)
+def test_maps_full_now_isomorphically(name, now_results):
+    net, results = now_results
+    report = match_networks(results[name].network, core_network(net))
+    assert report, f"{name}: {report.reason}"
+
+
+@pytest.mark.parametrize("name", ALL_MAPPERS)
+def test_two_runs_are_byte_identical(name):
+    net = build_subcluster("C")
+
+    def digest():
+        result = _map_once(name, net, "C-svc")
+        return (
+            result.stats.total_probes,
+            json.dumps(network_to_dict(result.network), sort_keys=True),
+        )
+
+    assert digest() == digest()
+
+
+@pytest.mark.parametrize("name", ALL_MAPPERS)
+def test_capability_flags_match_the_instance(name):
+    net = build_subcluster("C")
+    spec = get_mapper_spec(name)
+    svc = build_mapper_service(spec, net, "C-svc")
+    mapper = spec.create(svc, search_depth=3)
+    assert callable(getattr(mapper, "seed_with", None)) == (
+        spec.capabilities.seed_with
+    )
+    for flag, kwargs in (
+        ("batch", {"batch": True}),
+        ("profiler", {"profiler": object()}),
+    ):
+        if getattr(spec.capabilities, flag):
+            continue
+        with pytest.raises(TypeError):
+            spec.create(svc, search_depth=3, **kwargs)
+
+
+def test_registry_construction_matches_direct_and_pins_figure5():
+    """The refactor guard: registry-built Berkeley IS BerkeleyMapper.
+
+    Probe count and produced network must be byte-identical between the
+    two construction paths, and the count itself is pinned to the
+    committed ``benchmarks/BENCH_mapping.json`` Figure 5 number.
+    """
+    net = build_full_now()
+    depth = recommended_search_depth(net, "C-svc")
+
+    svc = build_service_stack(net, "C-svc")
+    direct = BerkeleyMapper(svc, search_depth=depth, host_first=False).run()
+    svc = build_service_stack(net, "C-svc")
+    via_registry = create_mapper(
+        "berkeley", svc, search_depth=depth, host_first=False
+    ).map()
+
+    assert direct.stats.total_probes == via_registry.stats.total_probes == 2929
+    assert json.dumps(
+        network_to_dict(direct.network), sort_keys=True
+    ) == json.dumps(network_to_dict(via_registry.network), sort_keys=True)
+
+
+def test_registry_construction_pins_figure4():
+    net = build_subcluster("C")
+    result = _map_once("berkeley", net, "C-svc")
+    assert result.stats.total_probes == 760
+
+
+def test_infogain_beats_default_probe_order(now_results):
+    """The acceptance criterion: learned ordering saves probes on the
+    paper's own system (and on its C subcluster)."""
+    _net, results = now_results
+    assert (
+        results["berkeley-infogain"].stats.total_probes
+        < results["berkeley"].stats.total_probes
+    )
+    small = build_subcluster("C")
+    assert (
+        _map_once("berkeley-infogain", small, "C-svc").stats.total_probes
+        < _map_once("berkeley", small, "C-svc").stats.total_probes
+    )
+
+
+def test_resolve_mapper_factory_filters_driver_kwargs():
+    """Driver-wide defaults reach algorithms that understand them and are
+    dropped for the rest — myricom has no ``host_first``."""
+    net = build_subcluster("C")
+    depth = recommended_search_depth(net, "C-svc")
+    for name in ("berkeley", "myricom"):
+        factory = resolve_mapper_factory(
+            name, host_first=False, max_explorations=50_000
+        )
+        svc = build_mapper_service(name, net, "C-svc")
+        result = factory(svc, depth).map()
+        assert match_networks(result.network, core_network(net))
+
+
+def test_resolve_mapper_factory_passes_callables_through():
+    sentinel = object()
+
+    def factory(svc, depth):
+        return sentinel
+
+    assert resolve_mapper_factory(factory) is factory
